@@ -1,0 +1,60 @@
+"""Ablation: work-model quality vs schedule quality.
+
+The static assignment needs only *relative* node work.  This bench
+compares three estimators driving the same §4.3 heuristic — the oracle
+(measured FLOPs priced at machine rates), the fitted Equation 1 model,
+and a deliberately uninformed constant-per-row model — and measures the
+resulting simulated makespans.  Equation 1 should be nearly as good as
+the oracle; the uninformed model should cost measurably more on the
+uneven ribo30S tree.
+"""
+
+import numpy as np
+
+from repro.core.workmodel import WorkModel, fit_work_model
+from repro.experiments.exp_table2 import run_table2
+from repro.experiments.report import render_table
+from repro.machine import DASH, simulate_solve
+
+
+def test_assignment_work_model_sensitivity(benchmark, ribo_cycle):
+    problem, cycle = ribo_cycle
+    machine = DASH()
+
+    table2 = run_table2(lengths=(1, 2, 4), batch_dims=(4, 8, 16, 32, 64))
+    eq1 = table2.model
+    flat_model = WorkModel(np.array([1e-6, 0.0, 1e-300, 0.0, 0.0]))  # rows-only
+
+    def run(model):
+        return {
+            p: simulate_solve(cycle, problem.hierarchy, machine, p, model=model)
+            for p in (8, 16, 32)
+        }
+
+    oracle = benchmark.pedantic(lambda: run(None), rounds=1, iterations=1)
+    fitted = run(eq1)
+    uninformed = run(flat_model)
+
+    rows = []
+    for p in (8, 16, 32):
+        rows.append(
+            (
+                p,
+                oracle[p].work_time,
+                fitted[p].work_time,
+                uninformed[p].work_time,
+            )
+        )
+    print()
+    print(
+        render_table(
+            ["NP", "oracle_s", "eq1_s", "rows_only_s"],
+            rows,
+            title="Makespan under different work estimators (ribo30S on DASH)",
+        )
+    )
+    for p in (8, 16, 32):
+        # Equation 1 within 15 % of the oracle schedule.
+        assert fitted[p].work_time < 1.15 * oracle[p].work_time
+        # The uninformed model must never beat the oracle meaningfully.
+        assert uninformed[p].work_time > 0.95 * oracle[p].work_time

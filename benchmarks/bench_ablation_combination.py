@@ -1,0 +1,35 @@
+"""Ablation (§4.1): the economics of coarse-grained constraint splitting.
+
+Reproduces the argument by which the paper rejects intra-node
+parallelism across constraint subsets: the Figure 3 combination costs as
+much as applying an n-dimensional observation, so a 2-way split only
+wins once the total constraint dimension M far exceeds the state
+dimension n — a regime biological data rarely reaches.
+"""
+
+from repro.experiments.exp_combination import (
+    crossover_rows_per_dim,
+    format_combination,
+    run_combination_experiment,
+)
+
+
+def test_combination_economics(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_combination_experiment(n_atoms=20),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_combination(rows))
+
+    # The two computation paths agree (Figure 3 correctness at scale)...
+    # combination is exact for linear h; distance constraints linearized at
+    # slightly different points leave a small gap.
+    assert all(r.mean_abs_error < 0.3 for r in rows)
+    # ...data-poor regimes lose (M <= n: the 2-way "speedup" is < 1)...
+    poor = [r for r in rows if r.rows_per_dim <= 1.0]
+    assert poor and all(r.two_way_speedup < 1.0 for r in poor)
+    # ...and splitting only pays several-fold past M = n, as §4.1 argues.
+    cross = crossover_rows_per_dim(rows)
+    assert cross is None or cross > 1.5

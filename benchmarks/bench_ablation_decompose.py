@@ -1,0 +1,33 @@
+"""Ablation (§5): automatic structure decomposition quality.
+
+Compares the paper's hand decomposition against recursive coordinate
+bisection and constraint-graph partitioning on the helix: leaf-capture
+fraction and the FLOPs of one hierarchical cycle.  The paper's thesis:
+decompositions that localize constraints at leaves win; the graph
+partitioner should approach the domain-knowledge hierarchy, and blind
+spatial bisection should trail.
+"""
+
+from repro.experiments.ablation_decompose import (
+    format_decompose,
+    run_decompose_ablation,
+)
+from repro.molecules.rna import build_helix
+
+
+def test_decomposition_quality(benchmark):
+    problem = build_helix(4)
+    results = benchmark.pedantic(
+        lambda: run_decompose_ablation(problem, max_leaf_atoms=12),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_decompose(results))
+    by = {r.method: r for r in results}
+    # The informed hierarchies must beat blind spatial bisection on FLOPs.
+    assert by["paper"].cycle_flops < by["rcb"].cycle_flops
+    assert by["graph-kl"].cycle_flops < by["rcb"].cycle_flops
+    # And the automatic graph partitioner must come close to the paper's
+    # hand decomposition (within 25 % of its FLOPs).
+    assert by["graph-kl"].cycle_flops < 1.25 * by["paper"].cycle_flops

@@ -1,0 +1,36 @@
+"""Ablation (§5): static vs dynamic processor assignment on the helix.
+
+The paper attributes the helix's non-power-of-2 speedup dips to static
+scheduling and proposes periodic global re-grouping.  This bench compares
+both policies on the simulated DASH and checks that dynamic re-grouping
+recovers part of the dip without hurting the power-of-2 points.
+"""
+
+import numpy as np
+
+from repro.experiments.ablation_dynamic import format_dynamic, run_dynamic_ablation
+from repro.machine import DASH
+
+
+def test_dynamic_vs_static(benchmark, helix16_cycle):
+    problem, _cycle = helix16_cycle
+    results = benchmark.pedantic(
+        lambda: run_dynamic_ablation(
+            problem,
+            DASH(),
+            processor_counts=(2, 3, 4, 5, 6, 7, 8, 10, 12, 14, 16, 24, 32),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_dynamic(results))
+    by = {r.n_processors: r for r in results}
+    non_pow2 = [by[p].improvement for p in (3, 5, 6, 7, 10, 12, 14)]
+    pow2 = [by[p].improvement for p in (2, 4, 8, 16, 32)]
+    print(f"mean improvement non-power-of-2: {np.mean(non_pow2):+.1%}, "
+          f"power-of-2: {np.mean(pow2):+.1%}")
+    # Dynamic must help on average where static scheduling struggles...
+    assert np.mean(non_pow2) > 0.0
+    # ...and never blow up anywhere.
+    assert min(r.improvement for r in results) > -0.15

@@ -1,0 +1,72 @@
+"""Ablation: machine-model design choices (cluster size, remote penalty).
+
+The DASH results hinge on two modeled mechanisms: the cluster structure
+(groups spanning clusters pay remote-memory costs) and the per-category
+remote-traffic fractions.  This bench sweeps both and verifies the
+mechanisms act as designed:
+
+* growing the cluster size toward a single cluster (centralized memory)
+  monotonically improves the dense-sparse scaling, converging to
+  Challenge-like behaviour;
+* zeroing the remote penalty removes most of d-s's scaling deficit.
+"""
+
+from repro.experiments.report import render_table
+from repro.linalg.counters import OpCategory
+from repro.machine import DASH, MachineConfig, simulate_solve
+
+
+def _dash_variant(cluster_size: int = 4, remote_byte_seconds: float | None = None) -> MachineConfig:
+    base = DASH()
+    return MachineConfig(
+        name=f"DASH/c{cluster_size}",
+        n_processors=base.n_processors,
+        cluster_size=cluster_size,
+        distributed=True,
+        rates=base.rates,
+        serial_fraction=base.serial_fraction,
+        barrier_seconds=base.barrier_seconds,
+        remote_byte_seconds=(
+            base.remote_byte_seconds if remote_byte_seconds is None else remote_byte_seconds
+        ),
+        remote_traffic_fraction=base.remote_traffic_fraction,
+    )
+
+
+def test_machine_model_sensitivity(benchmark, helix16_cycle):
+    problem, cycle = helix16_cycle
+
+    def ds_scaling(cfg: MachineConfig) -> float:
+        r1 = simulate_solve(cycle, problem.hierarchy, cfg, 1)
+        r16 = simulate_solve(cycle, problem.hierarchy, cfg, 16)
+        return r1.breakdown[OpCategory.DENSE_SPARSE] / r16.breakdown[
+            OpCategory.DENSE_SPARSE
+        ]
+
+    rows = []
+    scalings = {}
+    for cluster_size in (1, 2, 4, 8, 16, 32):
+        cfg = _dash_variant(cluster_size)
+        scalings[cluster_size] = ds_scaling(cfg)
+        rows.append((cluster_size, scalings[cluster_size]))
+    benchmark.pedantic(
+        lambda: ds_scaling(_dash_variant(4)), rounds=3, iterations=1
+    )
+    print()
+    print(
+        render_table(
+            ["cluster_size", "d-s scaling at 16"],
+            rows,
+            title="Cluster-size sweep (32-processor distributed machine)",
+        )
+    )
+    # Larger clusters = fewer remote homes = better d-s scaling.
+    values = [scalings[c] for c in (1, 2, 4, 8, 16, 32)]
+    assert all(b >= a - 1e-9 for a, b in zip(values, values[1:]))
+    # One giant cluster behaves like centralized memory: near-ideal d-s.
+    assert scalings[32] > 12.0
+
+    no_remote = ds_scaling(_dash_variant(4, remote_byte_seconds=0.0))
+    print(f"d-s scaling with remote penalty zeroed: {no_remote:.1f}x "
+          f"(with penalty: {scalings[4]:.1f}x)")
+    assert no_remote > scalings[4] * 1.3

@@ -1,0 +1,49 @@
+"""Ablation (§4.4): memory overhead of the hierarchical organization.
+
+The paper reports "noticeably higher memory overhead" for the
+hierarchical code.  The inherent component — live estimate bytes during
+the post-order solve — is computed analytically here for the Table 1
+helices and compared against the flat solver's single-covariance peak.
+The fragmentation component the paper describes (malloc scatter, pointer
+linking) is an artifact of their C implementation and is not modeled.
+"""
+
+from repro.core.memory import flat_peak_bytes, hierarchical_peak_bytes
+from repro.experiments.report import render_table
+from repro.molecules.rna import build_helix
+
+
+def test_memory_overhead(benchmark):
+    rows = []
+    profiles = {}
+    for length in (1, 2, 4, 8, 16):
+        problem = build_helix(length)
+        profile = benchmark.pedantic(
+            lambda p=problem: hierarchical_peak_bytes(p.hierarchy),
+            rounds=1,
+            iterations=1,
+        ) if length == 16 else hierarchical_peak_bytes(problem.hierarchy)
+        profiles[length] = profile
+        rows.append(
+            (
+                length,
+                flat_peak_bytes(problem.n_atoms) / 1e6,
+                profile.peak_bytes / 1e6,
+                profile.overhead_ratio,
+                profile.peak_node,
+            )
+        )
+    print()
+    print(
+        render_table(
+            ["len", "flat_MB", "hier_MB", "ratio", "peak at"],
+            rows,
+            title="Peak live estimate memory, flat vs hierarchical",
+        )
+    )
+    for length, profile in profiles.items():
+        # The paper's observation: the hierarchy never saves peak memory...
+        assert profile.overhead_ratio >= 1.0, length
+        # ...but the inherent overhead is bounded (their fragmentation was
+        # an implementation artifact, not intrinsic).
+        assert profile.overhead_ratio < 2.0, length

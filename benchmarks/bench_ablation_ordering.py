@@ -1,0 +1,32 @@
+"""Ablation (§5): constraint ordering vs convergence of the flat solver.
+
+The paper conjectures that locality-ordered constraint application (the
+hierarchy's order) helps convergence over uninformed orders.  We run the
+flat solver to a fixed cycle budget under four orderings of the identical
+constraint set and report cycles-to-threshold and final residual motion.
+"""
+
+from repro.experiments.ablation_ordering import format_ordering, run_ordering_ablation
+from repro.molecules.rna import build_helix
+
+
+def test_ordering_convergence(benchmark):
+    problem = build_helix(2)
+    results = benchmark.pedantic(
+        lambda: run_ordering_ablation(problem, max_cycles=10, tol=1e-4),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_ordering(results))
+    # Every ordering must make progress (deltas fall from the first cycle)
+    # and land near the true shape.
+    for r in results:
+        assert r.report.deltas[-1] < r.report.deltas[0]
+        assert r.rmsd_to_truth < 0.6
+    # At least one ordering fully converges within the budget.  (Finding,
+    # documented in EXPERIMENTS.md: on the anchor-free helix the orders that
+    # apply the *loose global* constraints early converge fastest — they fix
+    # the overall geometry before the tight local constraints rigidify the
+    # sub-structures — which refines the paper's locality-helps conjecture.)
+    assert any(r.report.converged for r in results)

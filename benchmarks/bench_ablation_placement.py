@@ -1,0 +1,42 @@
+"""Ablation (§4.4/§5): data-placement policy on the distributed machine.
+
+The paper migrates each node's data to its assigned clusters (node-local
+round-robin) and flags data locality as a key improvement axis.  This
+bench prices the same recorded cycle on DASH under the three modeled
+placement policies and verifies the paper's choice wins.
+"""
+
+from repro.experiments.report import render_table
+from repro.machine import DASH, simulate_solve
+from repro.machine.placement import POLICIES, with_placement
+
+
+def test_placement_policies(benchmark, helix16_cycle):
+    problem, cycle = helix16_cycle
+    base = DASH()
+
+    def run(policy: str, p: int) -> float:
+        cfg = with_placement(base, policy)
+        return simulate_solve(cycle, problem.hierarchy, cfg, p).work_time
+
+    benchmark.pedantic(lambda: run("node-local", 16), rounds=3, iterations=1)
+    rows = []
+    times = {}
+    for p in (8, 16, 32):
+        times[p] = {policy: run(policy, p) for policy in POLICIES}
+        rows.append((p, *[times[p][policy] for policy in POLICIES]))
+    print()
+    print(
+        render_table(
+            ["NP", *POLICIES],
+            rows,
+            title="Work time (s) under placement policies, helix on DASH",
+        )
+    )
+    for p in (8, 16, 32):
+        t = times[p]
+        # The paper's policy must beat both naive alternatives...
+        assert t["node-local"] <= t["global-round-robin"] + 1e-9
+        assert t["node-local"] <= t["centralized-home"] + 1e-9
+    # ...and the gap must be material at the full machine.
+    assert times[32]["global-round-robin"] > 1.02 * times[32]["node-local"]

@@ -1,0 +1,55 @@
+"""Figure 10: ribo30S speedup and time distribution on the Challenge.
+
+Checks the exhibit's defining curve properties: smooth near-linear
+speedup (no binary-tree dips) and the dominance of the well-scaling dense
+kernels in the breakdown.
+"""
+
+from repro.experiments.paper_data import processor_counts
+from repro.experiments.report import render_table
+from repro.linalg.counters import OpCategory
+from repro.machine import CHALLENGE, simulate_solve
+
+
+def test_figure10_curves(benchmark, ribo_cycle):
+    problem, cycle = ribo_cycle
+    machine = CHALLENGE()
+    counts = processor_counts("table6")
+    results = {
+        p: simulate_solve(cycle, problem.hierarchy, machine, p) for p in counts
+    }
+    benchmark.pedantic(
+        lambda: simulate_solve(cycle, problem.hierarchy, machine, 8),
+        rounds=3,
+        iterations=1,
+    )
+    base = results[1]
+    eff = {p: base.work_time / results[p].work_time / p for p in counts}
+    print()
+    from repro.experiments.ascii_plot import speedup_plot
+    from repro.experiments.paper_data import TABLE6
+
+    print(
+        speedup_plot(
+            counts,
+            {
+                "ours": [base.work_time / results[p].work_time for p in counts],
+                "paper": [float(v) for v in TABLE6["spdup"][: len(counts)]],
+            },
+            title="Figure 10a: ribo30S speedup on Challenge",
+        )
+    )
+    print(
+        render_table(
+            ["NP", "speedup", "efficiency"],
+            [(p, base.work_time / results[p].work_time, eff[p]) for p in counts],
+            title="Figure 10a: ribo30S speedup curve on Challenge",
+        )
+    )
+    for odd, lo, hi in ((6, 4, 8), (10, 8, 16), (12, 8, 16), (14, 8, 16)):
+        neighbour = 0.5 * (eff[lo] + eff[hi])
+        assert eff[odd] > 0.85 * neighbour, (odd, eff[odd], neighbour)
+
+    top = max(results[16].breakdown.seconds, key=results[16].breakdown.seconds.get)
+    print(f"dominant category at 16 processors: {top} (paper: m-m)")
+    assert top is OpCategory.MATMAT

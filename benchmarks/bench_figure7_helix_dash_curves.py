@@ -1,0 +1,68 @@
+"""Figure 7: Helix speedup curve and per-category time distribution on DASH.
+
+The figure view of Table 3: checks the *curve* properties — the
+non-power-of-2 efficiency dips of the binary helix tree, and the category
+scaling ordering (m-m/sys near-ideal; chol and vec poor; d-s in between
+due to remote misses).
+"""
+
+from repro.experiments.paper_data import processor_counts
+from repro.experiments.report import render_table
+from repro.linalg.counters import OpCategory
+from repro.machine import DASH, simulate_solve
+
+
+def test_figure7_curves(benchmark, helix16_cycle):
+    problem, cycle = helix16_cycle
+    machine = DASH()
+    counts = processor_counts("table3")
+    results = {
+        p: simulate_solve(cycle, problem.hierarchy, machine, p) for p in counts
+    }
+    benchmark.pedantic(
+        lambda: simulate_solve(cycle, problem.hierarchy, machine, 16),
+        rounds=3,
+        iterations=1,
+    )
+    base = results[1]
+    eff = {p: base.work_time / results[p].work_time / p for p in counts}
+    print()
+    from repro.experiments.ascii_plot import speedup_plot
+    from repro.experiments.paper_data import TABLE3
+
+    print(
+        speedup_plot(
+            counts,
+            {
+                "ours": [base.work_time / results[p].work_time for p in counts],
+                "paper": [float(v) for v in TABLE3["spdup"][: len(counts)]],
+            },
+            title="Figure 7a: helix speedup on DASH (o=ideal, x=ours, +=paper)",
+        )
+    )
+    print(
+        render_table(
+            ["NP", "speedup", "efficiency"],
+            [(p, base.work_time / results[p].work_time, eff[p]) for p in counts],
+            title="Figure 7a data",
+        )
+    )
+    # Dips: non-power-of-2 efficiency below neighbouring powers of two.
+    assert eff[6] < eff[4] and eff[6] < eff[8]
+    assert eff[12] < eff[8] or eff[12] < eff[16]
+
+    # Category scaling at the full machine.
+    scaling = {
+        cat: base.breakdown[cat] / max(results[32].breakdown[cat], 1e-12)
+        for cat in OpCategory
+    }
+    print(
+        render_table(
+            ["category", "x-speedup at 32"],
+            [(str(c), scaling[c]) for c in OpCategory],
+            title="Figure 7b: per-category scaling",
+        )
+    )
+    assert scaling[OpCategory.MATMAT] > scaling[OpCategory.CHOLESKY]
+    assert scaling[OpCategory.MATMAT] > scaling[OpCategory.VECTOR]
+    assert scaling[OpCategory.MATMAT] > scaling[OpCategory.DENSE_SPARSE]

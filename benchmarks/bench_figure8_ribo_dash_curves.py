@@ -1,0 +1,60 @@
+"""Figure 8: ribo30S speedup curve and time distribution on DASH.
+
+Checks the property distinguishing Figure 8 from Figure 7: the ribo30S
+tree's high branching factor lets the static assignment divide work
+evenly at every processor count, so the efficiency curve is smooth — no
+non-power-of-2 dips.
+"""
+
+import numpy as np
+
+from repro.experiments.paper_data import processor_counts
+from repro.experiments.report import render_table
+from repro.linalg.counters import OpCategory
+from repro.machine import DASH, simulate_solve
+
+
+def test_figure8_curves(benchmark, ribo_cycle):
+    problem, cycle = ribo_cycle
+    machine = DASH()
+    counts = [p for p in processor_counts("table4")]
+    results = {
+        p: simulate_solve(cycle, problem.hierarchy, machine, p) for p in counts
+    }
+    benchmark.pedantic(
+        lambda: simulate_solve(cycle, problem.hierarchy, machine, 16),
+        rounds=3,
+        iterations=1,
+    )
+    base = results[1]
+    eff = {p: base.work_time / results[p].work_time / p for p in counts}
+    print()
+    from repro.experiments.ascii_plot import speedup_plot
+    from repro.experiments.paper_data import TABLE4
+
+    print(
+        speedup_plot(
+            counts,
+            {
+                "ours": [base.work_time / results[p].work_time for p in counts],
+                "paper": [float(v) for v in TABLE4["spdup"][: len(counts)]],
+            },
+            title="Figure 8a: ribo30S speedup on DASH",
+        )
+    )
+    print(
+        render_table(
+            ["NP", "speedup", "efficiency"],
+            [(p, base.work_time / results[p].work_time, eff[p]) for p in counts],
+            title="Figure 8a: ribo30S speedup curve on DASH",
+        )
+    )
+    # Smoothness: efficiency at the non-power-of-2 counts stays within 12 %
+    # of the interpolated power-of-2 neighbours (the helix drops far more).
+    for odd, lo, hi in ((6, 4, 8), (10, 8, 16), (12, 8, 16), (14, 8, 16)):
+        neighbour = 0.5 * (eff[lo] + eff[hi])
+        assert eff[odd] > 0.88 * neighbour, (odd, eff[odd], neighbour)
+    # m-m dominates the 1-processor breakdown (paper: 861 of 925 s).
+    mm_share = base.breakdown[OpCategory.MATMAT] / base.breakdown.total()
+    print(f"m-m share at P=1: {mm_share:.1%} (paper: 93%)")
+    assert mm_share > 0.75

@@ -1,0 +1,62 @@
+"""Figure 9: Helix speedup and time distribution on the Challenge.
+
+Checks the cross-machine contrasts the paper draws between Figures 7 and
+9: the Challenge's uniform memory lets the dense-sparse kernels scale
+near-ideally (they lag badly on DASH), while the structural dips of the
+binary helix tree appear on both machines.
+"""
+
+from repro.experiments.paper_data import processor_counts
+from repro.experiments.report import render_table
+from repro.linalg.counters import OpCategory
+from repro.machine import CHALLENGE, DASH, simulate_solve
+
+
+def test_figure9_curves(benchmark, helix16_cycle):
+    problem, cycle = helix16_cycle
+    counts = processor_counts("table5")
+    challenge = {
+        p: simulate_solve(cycle, problem.hierarchy, CHALLENGE(), p) for p in counts
+    }
+    benchmark.pedantic(
+        lambda: simulate_solve(cycle, problem.hierarchy, CHALLENGE(), 8),
+        rounds=3,
+        iterations=1,
+    )
+    base = challenge[1]
+    eff = {p: base.work_time / challenge[p].work_time / p for p in counts}
+    print()
+    from repro.experiments.ascii_plot import speedup_plot
+    from repro.experiments.paper_data import TABLE5
+
+    print(
+        speedup_plot(
+            counts,
+            {
+                "ours": [base.work_time / challenge[p].work_time for p in counts],
+                "paper": [float(v) for v in TABLE5["spdup"][: len(counts)]],
+            },
+            title="Figure 9a: helix speedup on Challenge",
+        )
+    )
+    print(
+        render_table(
+            ["NP", "speedup", "efficiency"],
+            [(p, base.work_time / challenge[p].work_time, eff[p]) for p in counts],
+            title="Figure 9a: helix speedup curve on Challenge",
+        )
+    )
+    assert eff[6] < eff[4] and eff[6] < eff[8], "binary-tree dip persists"
+
+    # d-s scaling comparison across machines at 16 processors.
+    dash1 = simulate_solve(cycle, problem.hierarchy, DASH(), 1)
+    dash16 = simulate_solve(cycle, problem.hierarchy, DASH(), 16)
+    ds_dash = dash1.breakdown[OpCategory.DENSE_SPARSE] / dash16.breakdown[
+        OpCategory.DENSE_SPARSE
+    ]
+    ds_chal = base.breakdown[OpCategory.DENSE_SPARSE] / challenge[16].breakdown[
+        OpCategory.DENSE_SPARSE
+    ]
+    print(f"d-s scaling at 16: Challenge {ds_chal:.1f}x vs DASH {ds_dash:.1f}x "
+          "(paper: ~15x vs ~12x)")
+    assert ds_chal > ds_dash

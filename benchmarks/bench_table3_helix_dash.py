@@ -1,0 +1,42 @@
+"""Table 3: Helix work time and category distribution on DASH (simulated).
+
+Replays the recorded helix cycle through the DASH machine model at the
+paper's processor counts.  Shape criteria: near-linear speedup reaching
+~75 % efficiency at 32 processors, dips at non-power-of-2 counts, m-m
+dominating the breakdown and scaling near-ideally.
+"""
+
+import numpy as np
+
+from repro.experiments.paper_data import TABLE3, processor_counts
+from repro.experiments.report import render_table
+from repro.machine import DASH, simulate_solve
+from repro.machine.trace import format_speedup_table
+
+
+def test_table3_helix_on_dash(benchmark, helix16_cycle):
+    problem, cycle = helix16_cycle
+    machine = DASH()
+    counts = processor_counts("table3")
+    benchmark.pedantic(
+        lambda: simulate_solve(cycle, problem.hierarchy, machine, 32),
+        rounds=3,
+        iterations=1,
+    )
+    results = [simulate_solve(cycle, problem.hierarchy, machine, p) for p in counts]
+    print()
+    print(f"Table 3 ({problem.name} on simulated DASH):")
+    print(format_speedup_table(results))
+    ours = [results[0].work_time / r.work_time for r in results]
+    print(
+        render_table(
+            ["NP", "our_spdup", "paper_spdup"],
+            list(zip(counts, ours, [float(v) for v in TABLE3["spdup"]])),
+            title="Speedup, ours vs paper",
+        )
+    )
+    assert ours == sorted(ours), "speedup must grow with processors"
+    assert ours[-1] > 0.6 * counts[-1], "must keep >60% efficiency at full machine"
+    # Shape: tracks the paper's curve within a reasonable band everywhere.
+    for p, mine, theirs in zip(counts, ours, TABLE3["spdup"]):
+        assert 0.7 * theirs <= mine <= 1.45 * theirs, (p, mine, theirs)

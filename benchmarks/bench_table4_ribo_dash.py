@@ -1,0 +1,39 @@
+"""Table 4: ribo30S work time and category distribution on DASH (simulated).
+
+The larger problem on the distributed machine.  Paper: ~925 s at one
+processor, speedup 24.24 at 32, smooth curve (high branching factor).
+"""
+
+from repro.experiments.paper_data import TABLE4, processor_counts
+from repro.experiments.report import render_table
+from repro.machine import DASH, simulate_solve
+from repro.machine.trace import format_speedup_table
+
+
+def test_table4_ribo_on_dash(benchmark, ribo_cycle):
+    problem, cycle = ribo_cycle
+    machine = DASH()
+    counts = processor_counts("table4")
+    benchmark.pedantic(
+        lambda: simulate_solve(cycle, problem.hierarchy, machine, 32),
+        rounds=3,
+        iterations=1,
+    )
+    results = [simulate_solve(cycle, problem.hierarchy, machine, p) for p in counts]
+    print()
+    print(f"Table 4 ({problem.name} on simulated DASH):")
+    print(format_speedup_table(results))
+    ours = [results[0].work_time / r.work_time for r in results]
+    print(
+        render_table(
+            ["NP", "our_spdup", "paper_spdup"],
+            list(zip(counts, ours, [float(v) for v in TABLE4["spdup"]])),
+            title="Speedup, ours vs paper",
+        )
+    )
+    assert ours == sorted(ours)
+    assert ours[-1] > 0.6 * counts[-1]
+    for p, mine, theirs in zip(counts, ours, TABLE4["spdup"]):
+        assert 0.6 * theirs <= mine <= 1.5 * theirs, (p, mine, theirs)
+    # The ribo problem is the larger one, as in the paper (~2x helix work).
+    # (Only meaningful when the helix runs at full size; see conftest QUICK.)

@@ -1,0 +1,37 @@
+"""Table 5: Helix work time and category distribution on the SGI Challenge.
+
+The centralized-memory machine: faster processors, uniform memory access,
+smooth d-s scaling.  Paper: 159.99 s at one processor, 13.80× at 16.
+"""
+
+from repro.experiments.paper_data import TABLE5, processor_counts
+from repro.experiments.report import render_table
+from repro.machine import CHALLENGE, simulate_solve
+from repro.machine.trace import format_speedup_table
+
+
+def test_table5_helix_on_challenge(benchmark, helix16_cycle):
+    problem, cycle = helix16_cycle
+    machine = CHALLENGE()
+    counts = processor_counts("table5")
+    benchmark.pedantic(
+        lambda: simulate_solve(cycle, problem.hierarchy, machine, 16),
+        rounds=3,
+        iterations=1,
+    )
+    results = [simulate_solve(cycle, problem.hierarchy, machine, p) for p in counts]
+    print()
+    print(f"Table 5 ({problem.name} on simulated Challenge):")
+    print(format_speedup_table(results))
+    ours = [results[0].work_time / r.work_time for r in results]
+    print(
+        render_table(
+            ["NP", "our_spdup", "paper_spdup"],
+            list(zip(counts, ours, [float(v) for v in TABLE5["spdup"]])),
+            title="Speedup, ours vs paper",
+        )
+    )
+    assert ours == sorted(ours)
+    assert ours[-1] > 0.6 * counts[-1]
+    for p, mine, theirs in zip(counts, ours, TABLE5["spdup"]):
+        assert 0.7 * theirs <= mine <= 1.45 * theirs, (p, mine, theirs)

@@ -1,0 +1,38 @@
+"""Table 6: ribo30S work time and category distribution on the Challenge.
+
+Paper: 272.53 s at one processor, 14.45× speedup at 16 processors — the
+best efficiency of the four parallel exhibits (big problem, high
+branching, uniform memory).
+"""
+
+from repro.experiments.paper_data import TABLE6, processor_counts
+from repro.experiments.report import render_table
+from repro.machine import CHALLENGE, simulate_solve
+from repro.machine.trace import format_speedup_table
+
+
+def test_table6_ribo_on_challenge(benchmark, ribo_cycle):
+    problem, cycle = ribo_cycle
+    machine = CHALLENGE()
+    counts = processor_counts("table6")
+    benchmark.pedantic(
+        lambda: simulate_solve(cycle, problem.hierarchy, machine, 16),
+        rounds=3,
+        iterations=1,
+    )
+    results = [simulate_solve(cycle, problem.hierarchy, machine, p) for p in counts]
+    print()
+    print(f"Table 6 ({problem.name} on simulated Challenge):")
+    print(format_speedup_table(results))
+    ours = [results[0].work_time / r.work_time for r in results]
+    print(
+        render_table(
+            ["NP", "our_spdup", "paper_spdup"],
+            list(zip(counts, ours, [float(v) for v in TABLE6["spdup"]])),
+            title="Speedup, ours vs paper",
+        )
+    )
+    assert ours == sorted(ours)
+    assert ours[-1] > 0.6 * counts[-1]
+    for p, mine, theirs in zip(counts, ours, TABLE6["spdup"]):
+        assert 0.6 * theirs <= mine <= 1.5 * theirs, (p, mine, theirs)

@@ -1,0 +1,29 @@
+"""Validation: the estimator's covariance is statistically calibrated.
+
+The paper's motivation is producing "not only a structure consistent
+with the data, but also a measure of the variability in the estimated
+structure".  This bench Monte-Carlos the whole measure→solve pipeline
+over independent noise draws and checks that the ensemble scatter of the
+estimates matches the covariance the estimator reports (calibration
+ratio ≈ 1) and that standardized errors are unit-scale.
+"""
+
+from repro.experiments.exp_uncertainty import (
+    format_uncertainty,
+    run_uncertainty_validation,
+)
+
+
+def test_covariance_calibration(benchmark):
+    validation = benchmark.pedantic(
+        lambda: run_uncertainty_validation(n_trials=40),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_uncertainty(validation))
+    # The reported uncertainty must match reality within Monte-Carlo slop.
+    assert 0.7 < validation.calibration_ratio < 1.4
+    assert 0.7 < validation.z_rms < 1.4
+    # And must not be trivially the prior: posteriors are far tighter.
+    assert validation.reported_sigma.mean() < 0.2  # prior sigma was 1.0

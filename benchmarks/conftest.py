@@ -1,0 +1,63 @@
+"""Shared benchmark fixtures.
+
+The parallel exhibits (Tables 3-6, Figures 7-10) all replay a recorded
+solver cycle through the machine simulator; the cycle for each workload
+is produced once per session here and shared across benchmark files.
+
+Environment knobs:
+
+* ``REPRO_BENCH_QUICK=1`` — shrink workloads (shorter helices, sparser
+  grids) so the whole benchmark suite runs in under a minute.  Default is
+  the paper's full sizes.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.hier_solver import HierarchicalSolver
+from repro.molecules.ribosome import build_ribo30s
+from repro.molecules.rna import build_helix
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+
+def quick() -> bool:
+    return QUICK
+
+
+@pytest.fixture(scope="session")
+def helix16_cycle():
+    problem = build_helix(8 if QUICK else 16)
+    problem.assign()
+    solver = HierarchicalSolver(problem.hierarchy, batch_size=16)
+    cycle = solver.run_cycle(problem.initial_estimate(0))
+    return problem, cycle
+
+
+@pytest.fixture(scope="session")
+def ribo_cycle():
+    problem = build_ribo30s()
+    problem.assign()
+    solver = HierarchicalSolver(problem.hierarchy, batch_size=16)
+    cycle = solver.run_cycle(problem.initial_estimate(0))
+    return problem, cycle
+
+
+@pytest.fixture(scope="session")
+def table1_rows():
+    from repro.experiments.exp_table1 import run_table1
+
+    lengths = (1, 2, 4) if QUICK else (1, 2, 4, 8, 16)
+    return run_table1(lengths=lengths)
+
+
+@pytest.fixture(scope="session")
+def table2_result():
+    from repro.experiments.exp_table2 import run_table2
+
+    if QUICK:
+        return run_table2(lengths=(1, 2, 4), batch_dims=(1, 4, 16, 64, 256))
+    return run_table2()

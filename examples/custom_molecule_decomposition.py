@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Bring your own molecule: automatic hierarchy construction (§5).
+
+Shows the full workflow for a structure the library has no generator
+for — a small two-domain protein-like chain assembled from scratch with
+the constraint API — and compares three ways of obtaining a hierarchy:
+
+1. hand-specified (you know the domains),
+2. recursive coordinate bisection (geometry only),
+3. constraint-graph partitioning (the paper's §5 proposal).
+
+Run:  python examples/custom_molecule_decomposition.py
+"""
+
+import numpy as np
+
+from repro.constraints import AngleConstraint, DistanceConstraint, PositionConstraint
+from repro.core import (
+    HierarchicalSolver,
+    Hierarchy,
+    HierarchyNode,
+    assign_constraints,
+    graph_partition_hierarchy,
+    recursive_coordinate_bisection,
+)
+from repro.core.state import StructureEstimate
+from repro.linalg import recording
+
+# --- build a two-domain chain molecule -------------------------------------
+rng = np.random.default_rng(42)
+n_per_domain = 14
+offsets = [np.zeros(3), np.array([20.0, 3.0, -2.0])]
+coords = np.vstack(
+    [
+        off + np.cumsum(rng.normal(0, 1, (n_per_domain, 3)) + [1.4, 0, 0], axis=0)
+        for off in offsets
+    ]
+)
+n_atoms = coords.shape[0]
+
+constraints = []
+for d, base in enumerate((0, n_per_domain)):
+    ids = range(base, base + n_per_domain)
+    for i in ids:
+        # chain bonds + next-nearest "angle-like" distances within a domain
+        if i + 1 in ids:
+            constraints.append(
+                DistanceConstraint(i, i + 1, float(np.linalg.norm(coords[i] - coords[i + 1])), 0.01)
+            )
+        if i + 2 in ids:
+            constraints.append(
+                DistanceConstraint(i, i + 2, float(np.linalg.norm(coords[i] - coords[i + 2])), 0.05)
+            )
+        if i + 2 in ids:
+            u = coords[i] - coords[i + 1]
+            v = coords[i + 2] - coords[i + 1]
+            theta = float(np.arccos(u @ v / (np.linalg.norm(u) * np.linalg.norm(v))))
+            constraints.append(AngleConstraint(i, i + 1, i + 2, theta, 0.01))
+# a couple of loose inter-domain measurements + one anchor per domain
+for i, j in [(3, n_per_domain + 4), (9, n_per_domain + 10)]:
+    constraints.append(
+        DistanceConstraint(i, j, float(np.linalg.norm(coords[i] - coords[j])), 4.0)
+    )
+constraints.append(PositionConstraint(0, coords[0], 1.0))
+constraints.append(PositionConstraint(n_per_domain, coords[n_per_domain], 1.0))
+
+print(f"custom molecule: {n_atoms} atoms, "
+      f"{sum(c.dimension for c in constraints)} constraint rows\n")
+
+# --- three hierarchies ------------------------------------------------------
+hand = Hierarchy(
+    HierarchyNode(
+        atoms=np.arange(n_atoms),
+        children=[
+            HierarchyNode(atoms=np.arange(0, n_per_domain), name="domain0"),
+            HierarchyNode(atoms=np.arange(n_per_domain, n_atoms), name="domain1"),
+        ],
+        name="root",
+    ),
+    n_atoms,
+)
+rcb = recursive_coordinate_bisection(coords, max_leaf_atoms=8)
+graph = graph_partition_hierarchy(n_atoms, constraints, max_leaf_atoms=8, method="kl")
+
+estimate = StructureEstimate.from_coords(coords + rng.normal(0, 0.5, coords.shape), sigma=3.0)
+print(f"{'hierarchy':>12} {'leaves':>7} {'leaf-capture':>13} {'cycle FLOPs':>12}")
+for name, hierarchy in (("hand", hand), ("rcb", rcb), ("graph-kl", graph)):
+    assign_constraints(hierarchy, constraints)
+    with recording() as rec:
+        HierarchicalSolver(hierarchy, batch_size=8).run_cycle(estimate)
+    print(
+        f"{name:>12} {len(hierarchy.leaves()):>7} "
+        f"{hierarchy.leaf_constraint_fraction():>12.0%} {rec.total_flops():>12.3e}"
+    )
+
+print("\nthe graph partitioner discovers the two domains from the constraint")
+print("topology alone and matches the hand decomposition; blind coordinate")
+print("bisection splits chains mid-bond and pays for it at the upper levels.")
+
+# --- solve with the automatically found hierarchy ---------------------------
+assign_constraints(graph, constraints)
+report = HierarchicalSolver(graph, batch_size=8).solve(
+    estimate, max_cycles=20, tol=1e-5
+)
+print(f"\nsolved with graph-kl hierarchy: RMSD to truth "
+      f"{report.estimate.rmsd(coords):.3f} Å after {report.cycles} cycles")

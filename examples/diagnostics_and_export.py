@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Post-solve workflow: outlier hunting, re-refinement, PDB export.
+
+Real measurement sets contain mistakes — misassigned NMR peaks become
+tight distance constraints between the wrong atoms, and a probabilistic
+refiner will dutifully distort the whole structure trying to satisfy
+them.  The standard workflow is: refine, screen the standardized
+residuals, remove (or down-weight) the flagged measurements, re-refine.
+This example runs that loop on a helix with two planted misassignments
+and exports the cleaned model with uncertainties in the PDB B-factor
+column.
+
+Run:  python examples/diagnostics_and_export.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.constraints import DistanceConstraint
+from repro.core import HierarchicalSolver
+from repro.core.diagnostics import format_residual_report, residual_report
+from repro.core.hierarchy import assign_constraints
+from repro.molecules import build_helix, superposed_rmsd
+from repro.molecules.pdb import read_pdb, write_pdb
+
+problem = build_helix(2)
+
+# Plant two misassignments: tight "measurements" between far-apart atoms.
+bad = [
+    DistanceConstraint(0, 50, 3.0, 0.05**2),    # truly ~19 Å apart
+    DistanceConstraint(10, 70, 2.5, 0.05**2),
+]
+corrupted = list(problem.constraints) + bad
+planted = {len(problem.constraints), len(problem.constraints) + 1}
+
+
+def refine(constraints):
+    assign_constraints(problem.hierarchy, constraints)
+    solver = HierarchicalSolver(problem.hierarchy, batch_size=16)
+    report = solver.solve(
+        problem.initial_estimate(0), max_cycles=12, tol=1e-3, gauge_invariant=True
+    )
+    return report.estimate
+
+
+# --- round 1: refine against the corrupted set ------------------------------
+estimate = refine(corrupted)
+diag = residual_report(estimate, corrupted, outlier_z=4.0)
+print("after round 1 (corrupted data):")
+print(f"  overall chi2/dof: {diag.overall_reduced_chi2:.1f}  "
+      f"(should be ~1; the misassignments poison everything)")
+worst_two = {idx for idx, _n, _z in diag.outliers[:2]}
+print(f"  two worst outliers by |z|: {sorted(worst_two)} "
+      f"(planted at {sorted(planted)})")
+assert worst_two == planted, "the screen must rank the planted errors first"
+
+# --- round 2: drop the flagged measurements, re-refine ----------------------
+cleaned = [c for i, c in enumerate(corrupted) if i not in worst_two]
+estimate = refine(cleaned)
+diag2 = residual_report(estimate, cleaned, outlier_z=4.0)
+print("\nafter round 2 (outliers removed):")
+print(format_residual_report(diag2))
+rmsd = superposed_rmsd(estimate.coords, problem.true_coords)
+print(f"\nshape error vs truth: {rmsd:.3f} Å RMSD")
+
+# --- export with uncertainty as B-factors ------------------------------------
+with tempfile.TemporaryDirectory() as tmp:
+    pdb_path = Path(tmp) / "helix2.pdb"
+    write_pdb(pdb_path, estimate, title="helix-2 after outlier removal")
+    coords, bfactors = read_pdb(pdb_path)
+    print(f"\nwrote {pdb_path.name}: {coords.shape[0]} atoms, "
+          f"B-factor range {bfactors.min():.1f}-{bfactors.max():.1f} "
+          "(colour by B-factor in a viewer to see where the data is thin)")

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Reconstruct an RNA double helix hierarchically (the paper's §3 workload).
+
+Generates the 4-base-pair helix with its five categories of distance
+constraints, decomposes it per Figure 2 (helix → sub-helices → base pairs
+→ bases → backbone/sidechain), assigns every constraint to the smallest
+containing node, and solves post-order.  Compares cost and result against
+the flat organization — Table 1 in miniature.
+
+Run:  python examples/helix_reconstruction.py
+"""
+
+import numpy as np
+
+from repro.core import FlatSolver, HierarchicalSolver
+from repro.linalg import recording
+from repro.molecules import build_helix, superposed_rmsd
+
+problem = build_helix(n_base_pairs=4)
+problem.assign()  # constraints → smallest containing hierarchy node
+
+print(f"workload: {problem.name}")
+print(f"  atoms: {problem.n_atoms}  (state dimension {problem.state_dim})")
+print(f"  scalar constraints: {problem.n_constraint_rows}")
+print(f"  constraint rows per category: {problem.metadata['category_counts']}")
+print(f"  tree: {len(problem.hierarchy)} nodes, height {problem.hierarchy.height()}, "
+      f"{len(problem.hierarchy.leaves())} leaves")
+print(f"  constraint rows at leaves: {problem.hierarchy.leaf_constraint_fraction():.0%}")
+
+estimate = problem.initial_estimate(seed=0)
+print(f"\ninitial shape error: "
+      f"{superposed_rmsd(estimate.coords, problem.true_coords):.2f} Å RMSD")
+
+# --- one cycle, flat vs hierarchical: same math, fewer useless zeros -------
+with recording() as rec_flat:
+    flat_cycle = FlatSolver(problem.constraints, batch_size=16).run_cycle(estimate)
+with recording() as rec_hier:
+    hier_cycle = HierarchicalSolver(problem.hierarchy, batch_size=16).run_cycle(estimate)
+
+print("\none full cycle over all constraints:")
+print(f"  flat:         {rec_flat.total_flops():.3e} FLOPs, {flat_cycle.seconds:.3f} s")
+print(f"  hierarchical: {rec_hier.total_flops():.3e} FLOPs, {hier_cycle.seconds:.3f} s")
+print(f"  FLOP ratio:   {rec_flat.total_flops() / rec_hier.total_flops():.1f}x "
+      "(grows with molecule size; 30x at 16 bp in the paper)")
+
+# --- iterate the hierarchical solver to an equilibrium ---------------------
+solver = HierarchicalSolver(problem.hierarchy, batch_size=16)
+report = solver.solve(estimate, max_cycles=15, tol=1e-4, gauge_invariant=True)
+final_rmsd = superposed_rmsd(report.estimate.coords, problem.true_coords)
+print(f"\nafter {report.cycles} cycles: shape error {final_rmsd:.3f} Å RMSD "
+      f"(converged: {report.converged})")
+
+# Per-node work profile of the last cycle: the hierarchy pushes most work
+# to small nodes — exactly why it beats the flat organization.
+cycle = solver.run_cycle(report.estimate)
+by_depth: dict[int, float] = {}
+for record in cycle.records:
+    by_depth[record.depth] = by_depth.get(record.depth, 0.0) + record.flops
+print("\nFLOPs by tree depth (root = 0):")
+for depth in sorted(by_depth):
+    print(f"  depth {depth}: {by_depth[depth]:.3e}")

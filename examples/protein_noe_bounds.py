@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Protein determination from mixed Gaussian + bound (NOE) data.
+
+Goes beyond the paper's RNA workloads: an idealized multi-element protein
+solved through the high-level :class:`StructureEstimator` facade, with
+part of the long-range data supplied as *distance bounds* (the
+non-Gaussian constraint family of the paper's reference [2]) rather than
+measured values, plus the variance-annealing schedule that keeps the
+tightly-constrained nonlinear iteration out of frustrated folds.
+
+Run:  python examples/protein_noe_bounds.py
+"""
+
+import numpy as np
+
+from repro.constraints import DistanceBoundConstraint, DistanceConstraint
+from repro.core import StructureEstimator, UpdateOptions
+from repro.molecules import superposed_rmsd
+from repro.molecules.protein import build_protein
+
+problem = build_protein(seed=0)
+print(f"protein: {problem.n_atoms} atoms, "
+      f"{problem.metadata['n_residues']} residues in "
+      f"{problem.metadata['n_elements']} secondary-structure elements")
+
+# Replace the loose long-range contact *measurements* with NOE-style
+# *upper bounds* ("these atoms are within 1.2x their true separation").
+constraints = []
+n_bounds = 0
+for c in problem.constraints:
+    if isinstance(c, DistanceConstraint) and c.sigma2 >= 1.0:  # the contacts
+        constraints.append(
+            DistanceBoundConstraint(c.i, c.j, None, 1.2 * c.distance, c.sigma2)
+        )
+        n_bounds += 1
+    else:
+        constraints.append(c)
+print(f"converted {n_bounds} long-range contacts into upper bounds; "
+      f"{len(constraints) - n_bounds} Gaussian constraints remain")
+
+estimator = StructureEstimator(
+    problem.n_atoms,
+    constraints,
+    decomposition=problem.hierarchy,           # elements → residues
+    batch_size=16,
+    options=UpdateOptions(local_iterations=2),  # iterated relinearization
+)
+
+initial = problem.initial_estimate(seed=0)
+print(f"\ninitial shape error: "
+      f"{superposed_rmsd(initial.coords, problem.true_coords):.2f} Å RMSD")
+print(f"initial bound violations: {estimator.bound_violations(initial.coords)}")
+
+solution = estimator.solve(
+    initial,
+    max_cycles=16,
+    tol=1e-3,
+    anneal=(100.0, 0.5),   # soften all variances 100x, halve per cycle
+)
+
+coords = solution.coords
+print(f"\nafter {solution.report.cycles} cycles "
+      f"(converged: {solution.converged}):")
+print(f"  bound violations: {estimator.bound_violations(coords, slack=0.05)}")
+gauss = [c for c in constraints if isinstance(c, DistanceConstraint)]
+res = float(np.mean([abs(c.residual(coords)[0]) for c in gauss]))
+print(f"  mean Gaussian residual: {res:.3f} Å")
+
+# Per-element recovery: the data determine each element's internal shape
+# precisely; the relative placement of elements is exactly as loose as the
+# bound data allows — and the covariance reports that honestly.
+print("\nper-element shape recovery (superposed RMSD, Å):")
+for element in problem.hierarchy.root.children:
+    atoms = element.atoms
+    before = superposed_rmsd(initial.coords[atoms], problem.true_coords[atoms])
+    after = superposed_rmsd(coords[atoms], problem.true_coords[atoms])
+    print(f"  {element.name:<16s} {before:5.2f} -> {after:5.2f}")
+unc = solution.estimate.atom_uncertainty()
+print(f"\nmean per-atom uncertainty: {unc.mean():.2f} Å "
+      f"(min {unc.min():.2f}, max {unc.max():.2f})")

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Quickstart: estimate a small molecular structure from uncertain data.
+
+Builds a 4-atom "molecule" (a unit square), feeds the estimator a few
+noisy measurements — two absolute positions (think neutron-diffraction
+anchors) and five distances (think NMR NOE data) — and iterates the
+sequential update algorithm to convergence.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.constraints import DistanceConstraint, PositionConstraint
+from repro.core import FlatSolver, StructureEstimate
+
+# --- the unknown true structure (used only to fabricate measurements) -----
+true_coords = np.array(
+    [
+        [0.0, 0.0, 0.0],
+        [1.0, 0.0, 0.0],
+        [1.0, 1.0, 0.0],
+        [0.0, 1.0, 0.0],
+    ]
+)
+
+# --- measurements: z = h(x) + v, v ~ N(0, R) -------------------------------
+diagonal = float(np.sqrt(2.0))
+constraints = [
+    # Two anchors pin the global frame (variance 0.01 Å²).
+    PositionConstraint(0, true_coords[0], sigma2=0.01),
+    PositionConstraint(1, true_coords[1], sigma2=0.01),
+    # Distances define the rest of the shape.
+    DistanceConstraint(1, 2, 1.0, sigma2=0.01),
+    DistanceConstraint(2, 3, 1.0, sigma2=0.01),
+    DistanceConstraint(3, 0, 1.0, sigma2=0.01),
+    DistanceConstraint(0, 2, diagonal, sigma2=0.01),
+    DistanceConstraint(1, 3, diagonal, sigma2=0.01),
+]
+
+# --- initial estimate: a bad guess with an honest (large) prior ------------
+rng = np.random.default_rng(7)
+guess = true_coords + rng.normal(0.0, 0.3, true_coords.shape)
+estimate = StructureEstimate.from_coords(guess, sigma=1.0)
+
+print("initial RMSD to truth:", round(estimate.rmsd(true_coords), 4), "Å")
+print("initial per-atom uncertainty:", np.round(estimate.atom_uncertainty(), 3))
+
+# --- solve: repeated cycles of the Figure 1 update procedure ---------------
+solver = FlatSolver(constraints, batch_size=4)
+report = solver.solve(estimate, max_cycles=200, tol=1e-4)
+
+print(f"\nconverged: {report.converged} after {report.cycles} cycles")
+print("final RMSD to truth:", round(report.estimate.rmsd(true_coords), 4), "Å")
+print("final per-atom uncertainty:", np.round(report.estimate.atom_uncertainty(), 3))
+print("\nestimated coordinates:")
+print(np.round(report.estimate.coords, 3))
+
+# The covariance tells you *which parts* of the structure the data define
+# well: anchored atoms are tight, atoms held only by distances are looser.
+assert report.estimate.atom_uncertainty()[0] < report.estimate.atom_uncertainty()[2]
+print("\nanchored atom 0 is better determined than distance-only atom 2, "
+      "as the covariance should report.")

@@ -1,0 +1,29 @@
+"""repro — Parallel Hierarchical Molecular Structure Estimation.
+
+A production-quality reproduction of Chen, Singh & Altman,
+"Parallel Hierarchical Molecular Structure Estimation", Supercomputing 1996.
+
+The library estimates three-dimensional molecular structure from multiple
+sources of uncertain data (distances, angles, torsions, absolute
+positions) with a probabilistic sequential-update algorithm, organizes the
+computation over a structure hierarchy to eliminate arithmetic with
+structural zeros, and parallelizes both within each node's matrix kernels
+and across independent subtrees.  A discrete-event multiprocessor
+simulator (:mod:`repro.machine`) reproduces the paper's DASH and SGI
+Challenge evaluation platforms.
+
+Quickstart::
+
+    from repro.molecules import build_helix
+    from repro.core import HierarchicalSolver, assign_constraints
+
+    problem = build_helix(n_base_pairs=4)
+    assign_constraints(problem.hierarchy, problem.constraints)
+    solver = HierarchicalSolver(problem.hierarchy, batch_size=16)
+    result = solver.run_cycle(problem.initial_estimate())
+    print(result.estimate.atom_uncertainty().mean())
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,29 @@
+"""Baseline structure-determination methods (paper §6, Related Work).
+
+The paper situates its probabilistic estimator against two classical
+families, both implemented here so the comparison can actually be run
+(see ``benchmarks/bench_baselines.py``):
+
+* **Distance geometry** (refs [12][13], Crippen; Havel/Kuntz/Crippen):
+  smooth the interatomic distance bounds with the triangle inequality,
+  sample a trial distance matrix, and embed it in 3-D through the metric
+  matrix's top eigenvectors — :mod:`repro.baselines.distance_geometry`.
+* **Energy minimization** (refs [14][16], Levitt/Sharon;
+  Nemethy/Scheraga): express every measurement as a quadratic penalty
+  and minimize the total "energy" by gradient descent (L-BFGS here) —
+  :mod:`repro.baselines.energy_minimization`.
+
+Neither produces the posterior covariance that is the estimator's
+distinguishing output (ref [15]'s systematic comparison; reproduced
+qualitatively by the baseline bench).
+"""
+
+from repro.baselines.distance_geometry import DistanceGeometryResult, embed_distances
+from repro.baselines.energy_minimization import EnergyMinimizationResult, minimize_energy
+
+__all__ = [
+    "DistanceGeometryResult",
+    "EnergyMinimizationResult",
+    "embed_distances",
+    "minimize_energy",
+]

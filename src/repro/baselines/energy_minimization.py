@@ -1,0 +1,93 @@
+"""Energy-minimization baseline (paper refs [14][16]).
+
+Every measurement contributes a quadratic penalty
+
+    E(x) = Σ_c  ‖z_c − h_c(x)‖² / σ_c²
+
+and the structure is the conformation of minimum energy.  We minimize
+with L-BFGS using the constraints' own analytic Jacobians for the
+gradient — the same measurement layer the estimator uses, so the
+comparison isolates the *method*, not the data handling.
+
+Like all optimization-based methods this yields a point estimate only
+(no covariance) and inherits the local-minimum problem the paper's
+reference [15] documents; the baseline bench shows both properties.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+import scipy.optimize
+
+from repro.constraints.base import Constraint
+from repro.errors import DimensionError
+
+
+@dataclass(frozen=True)
+class EnergyMinimizationResult:
+    """Minimizer output plus optimization diagnostics."""
+
+    coords: np.ndarray
+    energy: float
+    n_iterations: int
+    converged: bool
+    gradient_norm: float
+
+
+def energy_and_gradient(
+    coords: np.ndarray, constraints: Sequence[Constraint]
+) -> tuple[float, np.ndarray]:
+    """Total penalty energy and its gradient w.r.t. all coordinates."""
+    p = coords.shape[0]
+    grad = np.zeros((p, 3), dtype=np.float64)
+    energy = 0.0
+    for c in constraints:
+        residual = c.residual(coords)           # z − h(x)
+        w = 1.0 / c.variance
+        energy += float(residual @ (w * residual))
+        # dE/dx = −2 Jᵗ W r  (r = z − h, dh/dx = J)
+        jac = c.jacobian(coords)                # (d, 3·na)
+        contrib = (-2.0 * (w * residual) @ jac).reshape(len(c.atoms), 3)
+        for slot, atom in enumerate(c.atoms):
+            grad[atom] += contrib[slot]
+    return energy, grad
+
+
+def minimize_energy(
+    initial_coords: np.ndarray,
+    constraints: Sequence[Constraint],
+    max_iterations: int = 500,
+    tol: float = 1e-8,
+) -> EnergyMinimizationResult:
+    """L-BFGS minimization of the penalty energy from ``initial_coords``."""
+    initial_coords = np.asarray(initial_coords, dtype=np.float64)
+    if initial_coords.ndim != 2 or initial_coords.shape[1] != 3:
+        raise DimensionError("initial_coords must be (p, 3)")
+    if not constraints:
+        raise DimensionError("need at least one constraint")
+    p = initial_coords.shape[0]
+
+    def objective(flat: np.ndarray) -> tuple[float, np.ndarray]:
+        coords = flat.reshape(p, 3)
+        energy, grad = energy_and_gradient(coords, constraints)
+        return energy, grad.ravel()
+
+    result = scipy.optimize.minimize(
+        objective,
+        initial_coords.ravel(),
+        jac=True,
+        method="L-BFGS-B",
+        options={"maxiter": max_iterations, "ftol": tol, "gtol": 1e-10},
+    )
+    coords = result.x.reshape(p, 3)
+    _, grad = energy_and_gradient(coords, constraints)
+    return EnergyMinimizationResult(
+        coords=coords,
+        energy=float(result.fun),
+        n_iterations=int(result.nit),
+        converged=bool(result.success),
+        gradient_norm=float(np.linalg.norm(grad)),
+    )

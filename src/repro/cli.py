@@ -1,0 +1,185 @@
+"""Command-line interface: generate, inspect, solve and simulate problems.
+
+Usage::
+
+    python -m repro generate helix --length 8 --out helix8.npz
+    python -m repro generate ribo30s --out ribo.npz
+    python -m repro generate protein --out prot.npz
+    python -m repro info helix8.npz
+    python -m repro solve helix8.npz --out solved.npz --cycles 20 \
+        --decomposition saved --anneal 100,0.5
+    python -m repro simulate helix8.npz --machine dash --processors 1,2,4,8
+
+``solve`` writes the posterior estimate; ``simulate`` prices one recorded
+cycle of the saved problem on a modeled machine (Tables 3-6 style).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro import io as rio
+
+    if args.workload == "helix":
+        from repro.molecules.rna import build_helix
+
+        problem = build_helix(args.length)
+    elif args.workload == "ribo30s":
+        from repro.molecules.ribosome import build_ribo30s
+
+        problem = build_ribo30s(seed=args.seed)
+    elif args.workload == "protein":
+        from repro.molecules.protein import build_protein
+
+        problem = build_protein(seed=args.seed)
+    else:  # pragma: no cover - argparse restricts choices
+        raise ValueError(args.workload)
+    rio.save_problem(args.out, problem)
+    print(
+        f"wrote {args.out}: {problem.name}, {problem.n_atoms} atoms, "
+        f"{problem.n_constraint_rows} constraint rows"
+    )
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    from repro import io as rio
+
+    problem = rio.load_problem(args.problem)
+    problem.assign()
+    h = problem.hierarchy
+    print(f"name:            {problem.name}")
+    print(f"atoms:           {problem.n_atoms} (state dimension {problem.state_dim})")
+    print(f"constraints:     {problem.n_constraints} ({problem.n_constraint_rows} rows)")
+    print(f"hierarchy:       {len(h)} nodes, height {h.height()}, {len(h.leaves())} leaves")
+    print(f"leaf capture:    {h.leaf_constraint_fraction():.1%} of constraint rows")
+    print("rows per level:  " + ", ".join(
+        f"{level}: {rows}" for level, rows in sorted(h.constraint_rows_by_level().items())
+    ))
+    return 0
+
+
+def _parse_anneal(text: str | None) -> tuple[float, float] | None:
+    if not text:
+        return None
+    try:
+        start, decay = (float(v) for v in text.split(","))
+    except ValueError as exc:
+        raise SystemExit(f"--anneal expects 'start,decay', got {text!r}") from exc
+    return start, decay
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    from repro import io as rio
+    from repro.core.estimator import StructureEstimator
+    from repro.core.update import UpdateOptions
+
+    problem = rio.load_problem(args.problem)
+    decomposition = (
+        problem.hierarchy if args.decomposition == "saved" else args.decomposition
+    )
+    estimator = StructureEstimator(
+        problem.n_atoms,
+        problem.constraints,
+        decomposition=decomposition,
+        batch_size=args.batch,
+        options=UpdateOptions(local_iterations=args.local_iterations),
+    )
+    initial = problem.initial_estimate(args.seed)
+    solution = estimator.solve(
+        initial,
+        max_cycles=args.cycles,
+        tol=args.tol,
+        anneal=_parse_anneal(args.anneal),
+    )
+    report = solution.report
+    print(
+        f"{'converged' if report.converged else 'stopped'} after {report.cycles} "
+        f"cycles (last delta {report.deltas[-1]:.3g})"
+    )
+    coords = solution.coords
+    residuals = [float(np.abs(c.residual(coords)).mean()) for c in problem.constraints]
+    print(f"mean |residual|: {float(np.mean(residuals)):.4f}")
+    print(f"mean atom uncertainty: {solution.estimate.atom_uncertainty().mean():.3f}")
+    if args.out:
+        rio.save_estimate(args.out, solution.estimate)
+        print(f"wrote estimate to {args.out}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro import io as rio
+    from repro.core.hier_solver import HierarchicalSolver
+    from repro.machine import CHALLENGE, DASH, simulate_solve
+    from repro.machine.trace import format_speedup_table
+
+    problem = rio.load_problem(args.problem)
+    problem.assign()
+    machine = DASH() if args.machine == "dash" else CHALLENGE()
+    counts = [int(v) for v in args.processors.split(",")]
+    solver = HierarchicalSolver(problem.hierarchy, batch_size=args.batch)
+    cycle = solver.run_cycle(problem.initial_estimate(args.seed))
+    results = [
+        simulate_solve(cycle, problem.hierarchy, machine, p) for p in counts
+    ]
+    print(f"{problem.name} on simulated {machine.name}:")
+    print(format_speedup_table(results))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Parallel hierarchical molecular structure estimation",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a benchmark workload")
+    gen.add_argument("workload", choices=["helix", "ribo30s", "protein"])
+    gen.add_argument("--length", type=int, default=8, help="helix base pairs")
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--out", required=True)
+    gen.set_defaults(fn=_cmd_generate)
+
+    info = sub.add_parser("info", help="describe a saved problem")
+    info.add_argument("problem")
+    info.set_defaults(fn=_cmd_info)
+
+    solve = sub.add_parser("solve", help="solve a saved problem")
+    solve.add_argument("problem")
+    solve.add_argument(
+        "--decomposition",
+        choices=["saved", "graph", "rcb", "flat"],
+        default="saved",
+    )
+    solve.add_argument("--batch", type=int, default=16)
+    solve.add_argument("--cycles", type=int, default=30)
+    solve.add_argument("--tol", type=float, default=1e-4)
+    solve.add_argument("--local-iterations", type=int, default=1)
+    solve.add_argument("--anneal", default=None, help="start,decay (e.g. 100,0.5)")
+    solve.add_argument("--seed", type=int, default=0)
+    solve.add_argument("--out", default=None)
+    solve.set_defaults(fn=_cmd_solve)
+
+    sim = sub.add_parser("simulate", help="price a cycle on a modeled machine")
+    sim.add_argument("problem")
+    sim.add_argument("--machine", choices=["dash", "challenge"], default="dash")
+    sim.add_argument("--processors", default="1,2,4,8,16")
+    sim.add_argument("--batch", type=int, default=16)
+    sim.add_argument("--seed", type=int, default=0)
+    sim.set_defaults(fn=_cmd_simulate)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

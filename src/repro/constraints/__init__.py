@@ -1,0 +1,35 @@
+"""Measurement/constraint models.
+
+A *constraint* is one (possibly vector-valued) idealized measurement
+``z = h(x) + v`` of the molecular state: the measured value ``z``, the
+measurement function ``h`` with its analytic Jacobian, and the Gaussian
+noise variance.  Constraints know which atoms they touch, which is what
+both the sparse Jacobian assembly and the hierarchical decomposition
+exploit.
+"""
+
+from repro.constraints.base import Constraint, LinearConstraint
+from repro.constraints.bounds import DistanceBoundConstraint
+from repro.constraints.distance import DistanceConstraint
+from repro.constraints.angle import AngleConstraint
+from repro.constraints.torsion import TorsionConstraint
+from repro.constraints.position import PositionConstraint
+from repro.constraints.batch import ConstraintBatch, assemble_batch, make_batches
+from repro.constraints.noise import DiagonalNoise, sample_measurement_noise
+from repro.constraints import library
+
+__all__ = [
+    "AngleConstraint",
+    "Constraint",
+    "ConstraintBatch",
+    "DiagonalNoise",
+    "DistanceBoundConstraint",
+    "DistanceConstraint",
+    "LinearConstraint",
+    "PositionConstraint",
+    "TorsionConstraint",
+    "assemble_batch",
+    "library",
+    "make_batches",
+    "sample_measurement_noise",
+]

@@ -1,0 +1,68 @@
+"""Bond-angle constraints.
+
+The angle at vertex ``j`` subtended by atoms ``i`` and ``k``:
+
+    θ = arccos( u·v / (|u| |v|) ),   u = r_i − r_j,  v = r_k − r_j.
+
+Chemistry priors (tetrahedral carbons at 109.5°, planar rings at 120°)
+enter the estimator this way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constraints.base import Constraint
+from repro.errors import ConstraintError
+
+_EPS = 1e-12
+
+
+@dataclass(eq=False)
+class AngleConstraint(Constraint):
+    """Measured angle (radians) at atom ``j`` between atoms ``i`` and ``k``."""
+
+    i: int
+    j: int
+    k: int
+    angle: float
+    sigma2: float
+
+    def __post_init__(self) -> None:
+        self.i, self.j, self.k = int(self.i), int(self.j), int(self.k)
+        if len({self.i, self.j, self.k}) != 3:
+            raise ConstraintError("angle constraint needs three distinct atoms")
+        if not 0.0 < self.angle < np.pi:
+            raise ConstraintError("angle must lie strictly between 0 and pi")
+        self.atoms = (self.i, self.j, self.k)
+        self.target = np.array([float(self.angle)])
+        self.variance = np.array([float(self.sigma2)])
+        self._validate_common()
+
+    def evaluate(self, coords: np.ndarray) -> np.ndarray:
+        u = coords[self.i] - coords[self.j]
+        v = coords[self.k] - coords[self.j]
+        nu = np.linalg.norm(u)
+        nv = np.linalg.norm(v)
+        c = float(u @ v) / max(nu * nv, _EPS)
+        return np.array([float(np.arccos(np.clip(c, -1.0, 1.0)))])
+
+    def jacobian(self, coords: np.ndarray) -> np.ndarray:
+        u = coords[self.i] - coords[self.j]
+        v = coords[self.k] - coords[self.j]
+        nu = max(float(np.linalg.norm(u)), _EPS)
+        nv = max(float(np.linalg.norm(v)), _EPS)
+        c = np.clip(float(u @ v) / (nu * nv), -1.0, 1.0)
+        s = np.sqrt(max(1.0 - c * c, _EPS))
+        # dθ/du and dθ/dv; θ = arccos(c) ⇒ dθ = −dc / s.
+        dc_du = v / (nu * nv) - c * u / (nu * nu)
+        dc_dv = u / (nu * nv) - c * v / (nv * nv)
+        dth_du = -dc_du / s
+        dth_dv = -dc_dv / s
+        out = np.empty((1, 9), dtype=np.float64)
+        out[0, 0:3] = dth_du
+        out[0, 6:9] = dth_dv
+        out[0, 3:6] = -(dth_du + dth_dv)
+        return out

@@ -1,0 +1,41 @@
+"""Standard-chemistry reference values used by the molecule generators.
+
+Bond lengths and angles are idealized textbook values (Å, radians); the
+point is not crystallographic accuracy but realistic *scales* so the
+workloads exercise the estimator with the same mix of tight chemistry
+priors and loose experimental data as the paper's problems.
+"""
+
+from __future__ import annotations
+
+import math
+
+# -- covalent bond lengths (Å) ------------------------------------------------
+BOND_CC = 1.53          # sp3 carbon-carbon
+BOND_CC_AROMATIC = 1.39
+BOND_CN = 1.47
+BOND_CO = 1.43
+BOND_PO = 1.60          # phosphodiester backbone
+BOND_CH = 1.09
+
+# -- bond angles (radians) ----------------------------------------------------
+ANGLE_TETRAHEDRAL = math.radians(109.47)
+ANGLE_TRIGONAL = math.radians(120.0)
+ANGLE_BACKBONE_PO = math.radians(104.0)
+
+# -- measurement technology standard deviations (Å) ---------------------------
+SIGMA_COVALENT = 0.02       # chemistry knowledge: very tight
+SIGMA_NOE_SHORT = 0.5       # short-range NMR NOE distances
+SIGMA_PAIRING = 0.3         # base-pair hydrogen-bond geometry
+SIGMA_STACKING = 0.8        # adjacent-base-pair stacking distances
+SIGMA_LONG_RANGE = 5.0      # low-resolution inter-helix / helix-protein data
+SIGMA_NEUTRON_MAP = 8.0     # neutron-diffraction protein positions (30S)
+
+# -- angular measurement standard deviations (radians) ------------------------
+SIGMA_ANGLE = math.radians(5.0)
+SIGMA_TORSION = math.radians(15.0)
+
+# -- A-form RNA helix geometry -------------------------------------------------
+HELIX_RISE = 2.81           # axial rise per base pair (Å)
+HELIX_TWIST = math.radians(32.7)  # twist per base pair
+HELIX_RADIUS = 9.4          # radial distance of backbone from axis (Å)

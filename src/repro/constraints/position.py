@@ -1,0 +1,42 @@
+"""Absolute position (anchor) constraints.
+
+Neutron-diffraction mapping gives absolute positions for the 21 proteins
+of the 30S ribosomal subunit; those enter the estimator as direct,
+*linear* observations of an atom's three coordinates.  Anchors also pin
+down the global translation/rotation gauge that pure distance data leaves
+free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constraints.base import Constraint
+from repro.errors import ConstraintError
+
+
+@dataclass(eq=False)
+class PositionConstraint(Constraint):
+    """Direct observation of atom ``i``'s position (3 measurement rows)."""
+
+    i: int
+    position: np.ndarray
+    sigma2: float
+
+    def __post_init__(self) -> None:
+        self.i = int(self.i)
+        self.position = np.asarray(self.position, dtype=np.float64)
+        if self.position.shape != (3,):
+            raise ConstraintError("position must be a 3-vector")
+        self.atoms = (self.i,)
+        self.target = self.position.copy()
+        self.variance = np.full(3, float(self.sigma2))
+        self._validate_common()
+
+    def evaluate(self, coords: np.ndarray) -> np.ndarray:
+        return coords[self.i].astype(np.float64, copy=True)
+
+    def jacobian(self, coords: np.ndarray) -> np.ndarray:
+        return np.eye(3, dtype=np.float64)

@@ -1,0 +1,91 @@
+"""Torsion (dihedral) angle constraints.
+
+The dihedral φ about the ``j–k`` axis for the atom chain ``i–j–k–l``,
+computed with the atan2 convention and differentiated with the standard
+Blondel–Karplus gradients.  Torsion priors fix sugar puckers and backbone
+conformations in nucleic-acid models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constraints.base import Constraint
+from repro.errors import ConstraintError
+
+_EPS = 1e-12
+
+
+def dihedral(coords: np.ndarray, i: int, j: int, k: int, l: int) -> float:
+    """Signed dihedral angle (radians, in (−π, π]) of chain ``i–j–k–l``."""
+    b1 = coords[j] - coords[i]
+    b2 = coords[k] - coords[j]
+    b3 = coords[l] - coords[k]
+    n1 = np.cross(b1, b2)
+    n2 = np.cross(b2, b3)
+    nb2 = max(float(np.linalg.norm(b2)), _EPS)
+    x = float(n1 @ n2)
+    y = float(np.cross(n1, n2) @ b2) / nb2
+    return float(np.arctan2(y, x))
+
+
+@dataclass(eq=False)
+class TorsionConstraint(Constraint):
+    """Measured dihedral (radians) of the chain ``i–j–k–l``.
+
+    Residuals are wrapped into (−π, π] by :meth:`residual` so that a target
+    of +3.1 rad and a current value of −3.1 rad count as a small error, not
+    a 6.2 rad one.
+    """
+
+    i: int
+    j: int
+    k: int
+    l: int
+    torsion: float
+    sigma2: float
+
+    def __post_init__(self) -> None:
+        ids = (int(self.i), int(self.j), int(self.k), int(self.l))
+        if len(set(ids)) != 4:
+            raise ConstraintError("torsion constraint needs four distinct atoms")
+        self.i, self.j, self.k, self.l = ids
+        self.atoms = ids
+        self.target = np.array([float(self.torsion)])
+        self.variance = np.array([float(self.sigma2)])
+        self._validate_common()
+
+    def evaluate(self, coords: np.ndarray) -> np.ndarray:
+        return np.array([dihedral(coords, self.i, self.j, self.k, self.l)])
+
+    def residual(self, coords: np.ndarray) -> np.ndarray:
+        raw = self.target - self.evaluate(coords)
+        return (raw + np.pi) % (2.0 * np.pi) - np.pi
+
+    def jacobian(self, coords: np.ndarray) -> np.ndarray:
+        b1 = coords[self.j] - coords[self.i]
+        b2 = coords[self.k] - coords[self.j]
+        b3 = coords[self.l] - coords[self.k]
+        n1 = np.cross(b1, b2)
+        n2 = np.cross(b2, b3)
+        nb2 = max(float(np.linalg.norm(b2)), _EPS)
+        nn1 = max(float(n1 @ n1), _EPS)
+        nn2 = max(float(n2 @ n2), _EPS)
+        # Standard analytic dihedral gradients (Blondel & Karplus 1996 style,
+        # adapted to the b1 = r_j − r_i bond-vector convention; verified
+        # against central differences in tests/test_jacobians.py).  The four
+        # gradients sum to zero (translation invariance).
+        g_i = -(nb2 / nn1) * n1
+        g_l = (nb2 / nn2) * n2
+        a = float(b1 @ b2) / (nb2 * nb2)
+        b = float(b3 @ b2) / (nb2 * nb2)
+        g_j = -(1.0 + a) * g_i + b * g_l
+        g_k = a * g_i - (1.0 + b) * g_l
+        out = np.empty((1, 12), dtype=np.float64)
+        out[0, 0:3] = g_i
+        out[0, 3:6] = g_j
+        out[0, 6:9] = g_k
+        out[0, 9:12] = g_l
+        return out

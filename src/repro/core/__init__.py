@@ -1,0 +1,57 @@
+"""Estimation core: the paper's primary contribution.
+
+* :mod:`repro.core.state` — the ``(x, C)`` structure estimate.
+* :mod:`repro.core.update` — the sequential update algorithm (Figure 1).
+* :mod:`repro.core.combine` — combination of independent updates (Figure 3).
+* :mod:`repro.core.flat` — the flat (non-hierarchical) solver.
+* :mod:`repro.core.hierarchy` — structure hierarchy and constraint assignment.
+* :mod:`repro.core.hier_solver` — the post-order hierarchical solver (§3).
+* :mod:`repro.core.convergence` — repeated constraint cycles to equilibrium.
+* :mod:`repro.core.workmodel` — Equation 1 work estimation (§4.3).
+* :mod:`repro.core.assignment` — static processor assignment heuristic (§4.3).
+* :mod:`repro.core.decompose` — automatic structure decomposition (§5).
+* :mod:`repro.core.ordering` — constraint-ordering strategies (§5).
+"""
+
+from repro.core.state import StructureEstimate
+from repro.core.update import UpdateOptions, apply_batch
+from repro.core.combine import combine_estimates
+from repro.core.flat import FlatSolver
+from repro.core.hierarchy import Hierarchy, HierarchyNode, assign_constraints
+from repro.core.hier_solver import HierarchicalSolver, NodeSolveRecord
+from repro.core.convergence import ConvergenceReport, iterate_to_convergence
+from repro.core.workmodel import WorkModel, fit_work_model
+from repro.core.assignment import ProcessorAssignment, assign_processors
+from repro.core.decompose import (
+    graph_partition_hierarchy,
+    recursive_coordinate_bisection,
+)
+from repro.core.ordering import order_constraints
+from repro.core.estimator import Solution, StructureEstimator
+from repro.core.diagnostics import ResidualReport, residual_report
+
+__all__ = [
+    "ConvergenceReport",
+    "FlatSolver",
+    "Hierarchy",
+    "HierarchicalSolver",
+    "HierarchyNode",
+    "NodeSolveRecord",
+    "ProcessorAssignment",
+    "ResidualReport",
+    "Solution",
+    "StructureEstimate",
+    "StructureEstimator",
+    "UpdateOptions",
+    "WorkModel",
+    "apply_batch",
+    "assign_constraints",
+    "assign_processors",
+    "combine_estimates",
+    "fit_work_model",
+    "graph_partition_hierarchy",
+    "iterate_to_convergence",
+    "order_constraints",
+    "recursive_coordinate_bisection",
+    "residual_report",
+]

@@ -1,0 +1,163 @@
+"""Static processor assignment (paper §4.3).
+
+Given a hierarchy with estimated per-node work, distribute ``P``
+processors over the tree:
+
+1. estimate the work at every node and accumulate subtree totals,
+2. assign all processors to the root,
+3. at each node, order the child subtrees by increasing work,
+4. for every bipartition of the node's processors, find the split point
+   among the ordered child subtrees dividing the work in a ratio closest
+   to the processor ratio; select the best match,
+5. recursively split the two (children group, processor group) pairs until
+   every child has processors,
+6. repeat down the tree.
+
+Processor groups are kept as contiguous ranges so a distributed-memory
+machine can migrate a node's data toward its group (the paper's DASH
+placement).  When a group of several children ends up with a single
+processor, the whole group runs sequentially on it — the source of the
+helix's speedup dips at non-power-of-2 processor counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.hierarchy import Hierarchy, HierarchyNode
+from repro.core.workmodel import WorkModel
+from repro.errors import AssignmentError
+
+
+@dataclass
+class ProcessorAssignment:
+    """Result of the static assignment.
+
+    Attributes
+    ----------
+    n_processors:
+        Total processors ``P``.
+    procs:
+        Node id → number of processors executing that node's own update.
+    ranges:
+        Node id → contiguous processor id range ``[lo, hi)``; ``hi−lo``
+        equals ``procs``.
+    node_work:
+        Node id → estimated work for the node's own constraints.
+    subtree_work:
+        Node id → estimated work for the whole subtree.
+    """
+
+    n_processors: int
+    procs: dict[int, int] = field(default_factory=dict)
+    ranges: dict[int, tuple[int, int]] = field(default_factory=dict)
+    node_work: dict[int, float] = field(default_factory=dict)
+    subtree_work: dict[int, float] = field(default_factory=dict)
+
+    def validate(self, hierarchy: Hierarchy) -> None:
+        """Check assignment invariants against ``hierarchy``."""
+        for node in hierarchy.nodes:
+            if node.nid not in self.procs:
+                raise AssignmentError(f"node {node.nid} has no processor count")
+            p = self.procs[node.nid]
+            lo, hi = self.ranges[node.nid]
+            if p < 1:
+                raise AssignmentError(f"node {node.nid} assigned {p} processors")
+            if hi - lo != p:
+                raise AssignmentError(f"node {node.nid} range {lo, hi} != count {p}")
+            if not (0 <= lo < hi <= self.n_processors):
+                raise AssignmentError(f"node {node.nid} range {lo, hi} out of bounds")
+            parent = node.parent
+            if parent is not None:
+                plo, phi = self.ranges[parent.nid]
+                if not (plo <= lo and hi <= phi):
+                    raise AssignmentError(
+                        f"node {node.nid} range not nested in parent's"
+                    )
+
+
+def estimate_node_work(
+    hierarchy: Hierarchy, model: WorkModel, batch_size: int = 16
+) -> tuple[dict[int, float], dict[int, float]]:
+    """Per-node own work and accumulated subtree work from ``model``."""
+    node_work: dict[int, float] = {}
+    subtree_work: dict[int, float] = {}
+    for node in hierarchy.post_order():
+        own = model.node_work(node.state_dim, node.n_constraint_rows, batch_size)
+        node_work[node.nid] = own
+        subtree_work[node.nid] = own + sum(
+            subtree_work[c.nid] for c in node.children
+        )
+    return node_work, subtree_work
+
+
+def assign_processors(
+    hierarchy: Hierarchy,
+    n_processors: int,
+    model: WorkModel,
+    batch_size: int = 16,
+) -> ProcessorAssignment:
+    """Run the §4.3 heuristic; returns a validated assignment."""
+    if n_processors < 1:
+        raise AssignmentError("need at least one processor")
+    node_work, subtree_work = estimate_node_work(hierarchy, model, batch_size)
+    asg = ProcessorAssignment(
+        n_processors=n_processors, node_work=node_work, subtree_work=subtree_work
+    )
+    root = hierarchy.root
+    asg.procs[root.nid] = n_processors
+    asg.ranges[root.nid] = (0, n_processors)
+    _descend(root, n_processors, 0, asg)
+    asg.validate(hierarchy)
+    return asg
+
+
+def _descend(node: HierarchyNode, p: int, lo: int, asg: ProcessorAssignment) -> None:
+    """Distribute ``p`` processors (ids ``[lo, lo+p)``) over ``node``'s children."""
+    if not node.children:
+        return
+    if p == 1:
+        # The whole subtree runs sequentially on this one processor.
+        for child in node.children:
+            asg.procs[child.nid] = 1
+            asg.ranges[child.nid] = (lo, lo + 1)
+            _descend(child, 1, lo, asg)
+        return
+    order = sorted(node.children, key=lambda c: asg.subtree_work[c.nid])
+    _split_group(order, p, lo, asg)
+
+
+def _split_group(
+    group: list[HierarchyNode], p: int, lo: int, asg: ProcessorAssignment
+) -> None:
+    """Step 4/5: recursively bipartition ``group`` and its ``p`` processors."""
+    if len(group) == 1:
+        child = group[0]
+        asg.procs[child.nid] = p
+        asg.ranges[child.nid] = (lo, lo + p)
+        _descend(child, p, lo, asg)
+        return
+    if p == 1:
+        for child in group:
+            asg.procs[child.nid] = 1
+            asg.ranges[child.nid] = (lo, lo + 1)
+            _descend(child, 1, lo, asg)
+        return
+    works = np.array([asg.subtree_work[c.nid] for c in group], dtype=np.float64)
+    total = float(works.sum())
+    prefix = np.cumsum(works)
+    best: tuple[float, int, int] | None = None
+    for p1 in range(1, p):
+        target = p1 / p
+        # Split after child s (1 <= s <= len-1): prefix group gets p1 procs.
+        for s in range(1, len(group)):
+            frac = (prefix[s - 1] / total) if total > 0 else s / len(group)
+            mismatch = abs(frac - target)
+            if best is None or mismatch < best[0]:
+                best = (mismatch, p1, s)
+    assert best is not None
+    _, p1, s = best
+    _split_group(group[:s], p1, lo, asg)
+    _split_group(group[s:], p - p1, lo + p1, asg)

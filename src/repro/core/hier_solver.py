@@ -1,0 +1,191 @@
+"""The hierarchical solver: post-order tree computation (§3).
+
+Every leaf is updated with its own constraints as an independent instance
+of the flat problem; a parent's state is then the block-diagonal
+concatenation of its children's posteriors (initially uncorrelated), to
+which the parent applies the constraints that span its children.  The
+root's posterior is the full-structure estimate.
+
+Each node's kernel events are tagged with the node id, producing the
+per-node work profile the machine simulator and the processor-assignment
+heuristic consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.constraints.batch import make_batches
+from repro.core.hierarchy import Hierarchy, HierarchyNode
+from repro.core.state import StructureEstimate
+from repro.core.update import UpdateOptions, apply_batch
+from repro.errors import HierarchyError
+from repro.linalg.counters import KernelEvent, Recorder, current_recorder, recording
+from repro.util.timer import Timer
+
+
+@dataclass
+class NodeSolveRecord:
+    """Work performed at one tree node during a cycle."""
+
+    nid: int
+    name: str
+    depth: int
+    state_dim: int
+    n_constraint_rows: int
+    n_batches: int
+    seconds: float
+    events: list[KernelEvent] = field(default_factory=list)
+
+    @property
+    def flops(self) -> float:
+        return sum(e.flops for e in self.events)
+
+
+@dataclass(frozen=True)
+class HierCycleResult:
+    """Outcome of one hierarchical cycle."""
+
+    estimate: StructureEstimate
+    seconds: float
+    recorder: Recorder
+    records: list[NodeSolveRecord]
+    n_constraint_rows: int
+
+    @property
+    def seconds_per_constraint(self) -> float:
+        return self.seconds / max(1, self.n_constraint_rows)
+
+    def record_by_nid(self) -> dict[int, NodeSolveRecord]:
+        return {r.nid: r for r in self.records}
+
+
+class HierarchicalSolver:
+    """Post-order solver over a constraint-assigned :class:`Hierarchy`.
+
+    Parameters
+    ----------
+    hierarchy:
+        Tree with constraints already assigned
+        (:func:`repro.core.hierarchy.assign_constraints`).
+    batch_size:
+        Scalar rows per observation vector at every node.
+    options:
+        Per-batch update options.
+    """
+
+    def __init__(
+        self,
+        hierarchy: Hierarchy,
+        batch_size: int = 16,
+        options: UpdateOptions = UpdateOptions(),
+    ):
+        self.hierarchy = hierarchy
+        self.batch_size = int(batch_size)
+        self.options = options
+        self.n_constraint_rows = sum(n.n_constraint_rows for n in hierarchy.nodes)
+
+    # ------------------------------------------------------------- solve
+    def run_cycle(
+        self, estimate: StructureEstimate, options: UpdateOptions | None = None
+    ) -> HierCycleResult:
+        """One complete post-order cycle over all constraints.
+
+        ``options`` overrides the solver's defaults for this cycle only
+        (used by the annealing schedule).
+        """
+        if estimate.n_atoms != self.hierarchy.n_atoms:
+            raise HierarchyError(
+                f"estimate covers {estimate.n_atoms} atoms, hierarchy expects "
+                f"{self.hierarchy.n_atoms}"
+            )
+        opts = options if options is not None else self.options
+        outer = current_recorder()
+        rec = outer if outer is not None else Recorder()
+        records: list[NodeSolveRecord] = []
+        node_results: dict[int, StructureEstimate] = {}
+        total_timer = Timer()
+        with recording(rec):
+            with total_timer:
+                for node in self.hierarchy.post_order():
+                    node_results[node.nid] = self._solve_node(
+                        node, estimate, node_results, rec, records, opts
+                    )
+        root = self.hierarchy.root
+        final = estimate.copy()
+        node_results[root.nid].scatter_into(final, root.atoms)
+        return HierCycleResult(final, total_timer.elapsed, rec, records, self.n_constraint_rows)
+
+    def _solve_node(
+        self,
+        node: HierarchyNode,
+        global_estimate: StructureEstimate,
+        node_results: dict[int, StructureEstimate],
+        rec: Recorder,
+        records: list[NodeSolveRecord],
+        opts: UpdateOptions,
+    ) -> StructureEstimate:
+        timer = Timer()
+        with rec.tagged(node.nid):
+            n_events_before = len(rec.events)
+            with timer:
+                if node.is_leaf:
+                    local = global_estimate.extract_atoms(node.atoms)
+                else:
+                    # Children are mutually uncorrelated until this node's
+                    # boundary-spanning constraints connect them.
+                    parts = [node_results.pop(c.nid) for c in node.children]
+                    local = StructureEstimate.block_diagonal(parts)
+                if node.constraints:
+                    batches = make_batches(node.constraints, self.batch_size)
+                    cmap = node.column_map(self.hierarchy.n_atoms)
+                    for batch in batches:
+                        local = apply_batch(local, batch, cmap, opts)
+                else:
+                    batches = []
+            events = rec.events[n_events_before:]
+        records.append(
+            NodeSolveRecord(
+                nid=node.nid,
+                name=node.name,
+                depth=node.depth,
+                state_dim=node.state_dim,
+                n_constraint_rows=node.n_constraint_rows,
+                n_batches=len(batches),
+                seconds=timer.elapsed,
+                events=list(events),
+            )
+        )
+        return local
+
+    def solve(
+        self,
+        estimate: StructureEstimate,
+        max_cycles: int = 50,
+        tol: float = 1e-6,
+        gauge_invariant: bool = False,
+        anneal: tuple[float, float] | None = None,
+    ) -> "ConvergenceReport":
+        """Iterate cycles to convergence (delegates to :mod:`convergence`).
+
+        ``anneal=(start, decay)`` inflates all measurement variances by
+        ``max(1, start · decay^cycle)`` — see
+        :func:`repro.core.convergence.annealing_schedule`.
+        """
+        from dataclasses import replace
+
+        from repro.core.convergence import solve_with_annealing
+
+        return solve_with_annealing(
+            lambda est, scale: self.run_cycle(
+                est,
+                replace(self.options, noise_scale=self.options.noise_scale * scale),
+            ).estimate,
+            estimate,
+            max_cycles,
+            tol,
+            gauge_invariant=gauge_invariant,
+            anneal=anneal,
+        )

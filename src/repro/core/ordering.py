@@ -1,0 +1,57 @@
+"""Constraint-ordering strategies for the flat solver (paper §5).
+
+The hierarchical and flat computations differ only in the *order* in which
+constraints are applied within a cycle: the hierarchy processes them in
+order of locality of interaction.  The paper conjectures this ordering
+also speeds convergence.  These strategies let the flat solver replay
+different orders so the convergence ablation can test that conjecture.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.constraints.base import Constraint
+from repro.core.hierarchy import Hierarchy, assign_constraints
+from repro.errors import HierarchyError
+from repro.util.rng import make_rng
+
+STRATEGIES = ("given", "random", "locality", "anti-locality")
+
+
+def order_constraints(
+    constraints: Sequence[Constraint],
+    strategy: str = "given",
+    hierarchy: Hierarchy | None = None,
+    seed: int | np.random.Generator | None = 0,
+) -> list[Constraint]:
+    """Return ``constraints`` re-ordered by ``strategy``.
+
+    * ``given`` — unchanged.
+    * ``random`` — uniform shuffle (seeded).
+    * ``locality`` — hierarchical order: constraints grouped by their
+      assigned tree node, nodes visited post-order, i.e. leaves first,
+      boundary-spanning constraints last.  Requires ``hierarchy``.
+    * ``anti-locality`` — reverse of ``locality``: global constraints
+      first; the adversarial ordering for the convergence study.
+    """
+    constraints = list(constraints)
+    if strategy == "given":
+        return constraints
+    if strategy == "random":
+        rng = make_rng(seed)
+        order = rng.permutation(len(constraints))
+        return [constraints[i] for i in order]
+    if strategy in ("locality", "anti-locality"):
+        if hierarchy is None:
+            raise HierarchyError(f"{strategy!r} ordering requires a hierarchy")
+        assign_constraints(hierarchy, constraints)
+        ordered: list[Constraint] = []
+        for node in hierarchy.post_order():
+            ordered.extend(node.constraints)
+        if strategy == "anti-locality":
+            ordered.reverse()
+        return ordered
+    raise HierarchyError(f"unknown ordering strategy {strategy!r}; choose from {STRATEGIES}")

@@ -1,0 +1,140 @@
+"""Work estimation (paper §4.3, Equation 1).
+
+The static processor assignment needs to predict, *before* running, how
+long a node's update will take.  The paper measures per-scalar-constraint
+execution time over a grid of node sizes ``n`` and batch dimensions ``m``
+(Table 2) and fits a constrained least-squares polynomial
+
+    t(n, m) = c₀ + c₁·n + c₂·n² + c₃·m + c₄·n·m
+
+(quadratic in the node size, linear in the batch dimension — higher-order
+``m`` terms were unstable and negligible over the useful range).  The
+regression is constrained exactly as in the paper:
+
+1. the leading coefficient ``c₂`` must be positive (growth function), and
+2. the sum of the coefficients and, separately, the constant term must be
+   non-negative (no negative predicted time near the origin),
+
+trading a slightly worse fit for guaranteed sanity away from the data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+import scipy.optimize
+
+from repro.errors import WorkModelError
+
+#: Term order of the design matrix: (1, n, n², m, n·m).
+TERMS = ("const", "n", "n^2", "m", "n*m")
+
+
+@dataclass(frozen=True)
+class WorkModel:
+    """Fitted per-scalar-constraint execution-time model (Equation 1)."""
+
+    coefficients: np.ndarray  # (5,) in TERMS order
+
+    def __post_init__(self) -> None:
+        c = np.asarray(self.coefficients, dtype=np.float64)
+        if c.shape != (5,):
+            raise WorkModelError("work model needs exactly 5 coefficients")
+        object.__setattr__(self, "coefficients", c)
+
+    # ------------------------------------------------------------ predict
+    def per_constraint(self, n: float | np.ndarray, m: float | np.ndarray) -> np.ndarray | float:
+        """Predicted time for one scalar constraint at node size ``n``, batch ``m``."""
+        n = np.asarray(n, dtype=np.float64)
+        m = np.asarray(m, dtype=np.float64)
+        c = self.coefficients
+        out = c[0] + c[1] * n + c[2] * n * n + c[3] * m + c[4] * n * m
+        return float(out) if out.ndim == 0 else out
+
+    def node_work(self, n: int, rows: int, m: int) -> float:
+        """Predicted total time to apply ``rows`` scalar constraints at a node.
+
+        ``n`` is the node state dimension and ``m`` the batch dimension the
+        solver will use (capped by the available rows).
+        """
+        if rows <= 0:
+            return 0.0
+        m_eff = min(m, rows)
+        return float(rows) * float(self.per_constraint(float(n), float(m_eff)))
+
+    def best_batch(self, n: float, candidates: Sequence[int]) -> int:
+        """Batch dimension among ``candidates`` minimizing predicted time."""
+        if not candidates:
+            raise WorkModelError("no batch candidates given")
+        preds = [self.per_constraint(n, m) for m in candidates]
+        return int(candidates[int(np.argmin(preds))])
+
+    # -------------------------------------------------------------- checks
+    def satisfies_paper_checks(self) -> bool:
+        c = self.coefficients
+        return bool(c[2] > 0 and c.sum() >= -1e-15 and c[0] >= -1e-15)
+
+
+def design_matrix(n: np.ndarray, m: np.ndarray) -> np.ndarray:
+    """Design matrix in TERMS order for sample vectors ``n`` and ``m``."""
+    n = np.asarray(n, dtype=np.float64)
+    m = np.asarray(m, dtype=np.float64)
+    return np.column_stack([np.ones_like(n), n, n * n, m, n * m])
+
+
+def fit_work_model(
+    n: Sequence[float],
+    m: Sequence[float],
+    t: Sequence[float],
+    min_batch: int = 4,
+) -> WorkModel:
+    """Fit Equation 1 to measured samples with the paper's constraints.
+
+    ``min_batch`` excludes very small batch dimensions from the fit, as the
+    paper does: tiny batches are dominated by cache-miss streaming effects
+    the polynomial cannot (and should not) capture.
+
+    The fit proceeds in two stages: an unconstrained-signs bounded fit
+    (``c₀ ≥ 0``, ``c₂ > 0``), then — only if the coefficient-sum check
+    fails — a fully non-negative refit.
+    """
+    n = np.asarray(n, dtype=np.float64)
+    m = np.asarray(m, dtype=np.float64)
+    t = np.asarray(t, dtype=np.float64)
+    if not (n.shape == m.shape == t.shape) or n.ndim != 1:
+        raise WorkModelError("n, m, t must be 1-D arrays of equal length")
+    keep = m >= min_batch
+    if keep.sum() < 5:
+        raise WorkModelError("not enough samples after excluding small batches")
+    a = design_matrix(n[keep], m[keep])
+    y = t[keep]
+    # Scale columns for conditioning: solve in scaled space, map back.
+    scale = np.maximum(np.abs(a).max(axis=0), 1e-300)
+    lower = np.array([0.0, -np.inf, 1e-300, -np.inf, -np.inf])
+    res = scipy.optimize.lsq_linear(
+        a / scale, y, bounds=(lower * scale, np.full(5, np.inf)), max_iter=200
+    )
+    coeffs = res.x / scale
+    model = WorkModel(coeffs)
+    if not model.satisfies_paper_checks():
+        res = scipy.optimize.lsq_linear(
+            a / scale, y, bounds=(np.zeros(5), np.full(5, np.inf)), max_iter=200
+        )
+        model = WorkModel(res.x / scale)
+        if not model.satisfies_paper_checks():
+            raise WorkModelError("constrained regression failed the paper's checks")
+    return model
+
+
+def analytic_work_model(flop_rate: float = 2.0e8) -> WorkModel:
+    """A first-principles fallback model derived from the FLOP counts of §2.
+
+    Per scalar constraint at node size ``n`` with batch ``m``, the update's
+    dominant terms are ``2n²`` (covariance update) + ``2nm`` (gain solves) +
+    ``4n`` (dense-sparse) FLOPs; dividing by ``flop_rate`` gives seconds.
+    Useful when no Table 2 measurements are available yet.
+    """
+    inv = 1.0 / flop_rate
+    return WorkModel(np.array([50.0 * inv, 6.0 * inv, 2.0 * inv, 10.0 * inv, 2.0 * inv]))

@@ -1,0 +1,54 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still being able to discriminate failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class DimensionError(ReproError, ValueError):
+    """An array argument has an incompatible shape or dimension."""
+
+
+class NotPositiveDefiniteError(ReproError, ValueError):
+    """A matrix expected to be (semi-)positive definite is not.
+
+    Raised by Cholesky-based routines when factorization fails; usually a
+    symptom of an inconsistent or degenerate constraint set, or of numerical
+    drift in a covariance matrix.
+    """
+
+
+class ConstraintError(ReproError, ValueError):
+    """A constraint is malformed (bad indices, non-positive variance, ...)."""
+
+
+class HierarchyError(ReproError, ValueError):
+    """A structure hierarchy violates a tree invariant.
+
+    Examples: a node's atom set is not the disjoint union of its children's
+    sets, or a constraint is assigned to a node that does not contain all of
+    its atoms.
+    """
+
+
+class AssignmentError(ReproError, ValueError):
+    """Processor assignment is infeasible or violates an invariant."""
+
+
+class SimulationError(ReproError, RuntimeError):
+    """The machine simulator reached an inconsistent state."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative solve failed to converge within its iteration budget."""
+
+
+class WorkModelError(ReproError, ValueError):
+    """The work-estimation regression failed its positivity checks."""

@@ -1,0 +1,38 @@
+"""Experiment harnesses: one module per paper exhibit.
+
+Each ``exp_*`` module builds its workload through the public library API,
+runs it, and returns structured rows that the ``benchmarks/`` targets and
+the ``python -m repro.experiments`` CLI render next to the paper's
+published numbers (:mod:`repro.experiments.paper_data`).
+
+===========================  =======================================
+module                       paper exhibit
+===========================  =======================================
+``exp_table1``               Table 1 + Figure 5 (flat vs hierarchical)
+``exp_table2``               Table 2 + Figure 6 + Equation 1
+``exp_parallel``             Tables 3-6 + Figures 7-10 (speedups)
+``ablation_ordering``        §5 constraint-ordering convergence study
+``ablation_decompose``       §5 automatic decomposition study
+``ablation_dynamic``         §5 dynamic re-assignment study
+``ablation_batch``           batch-dimension model validation
+``exp_combination``          §4.1 constraint-splitting economics
+``calibration``              machine-model calibration tooling
+``ascii_plot``               terminal rendering for the figures
+===========================  =======================================
+"""
+
+from repro.experiments.exp_table1 import Table1Row, run_table1
+from repro.experiments.exp_table2 import Table2Result, run_table2
+from repro.experiments.exp_parallel import ParallelExperiment, run_parallel_experiment
+from repro.experiments import paper_data, report
+
+__all__ = [
+    "ParallelExperiment",
+    "Table1Row",
+    "Table2Result",
+    "paper_data",
+    "report",
+    "run_parallel_experiment",
+    "run_table1",
+    "run_table2",
+]

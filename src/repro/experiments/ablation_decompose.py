@@ -1,0 +1,93 @@
+"""§5 ablation: automatic structure decomposition.
+
+Compares hierarchies for the same problem: the user-specified paper
+decomposition (Figure 2 / Figure 4), recursive coordinate bisection (the
+paper's in-place fallback), and constraint-graph partitioning (the
+paper's proposed approach).  Metrics: the fraction of constraint rows
+captured at the leaves, the FLOPs of one hierarchical cycle, and the host
+time — the paper's thesis being that decompositions which localize
+constraints push work down the tree and win.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.decompose import (
+    graph_partition_hierarchy,
+    recursive_coordinate_bisection,
+)
+from repro.core.hier_solver import HierarchicalSolver
+from repro.core.hierarchy import Hierarchy, assign_constraints
+from repro.experiments.report import render_table
+from repro.linalg import recording
+from repro.molecules.problem import StructureProblem
+from repro.molecules.rna import build_helix
+
+
+@dataclass(frozen=True)
+class DecomposeResult:
+    method: str
+    n_leaves: int
+    height: int
+    leaf_fraction: float
+    cycle_flops: float
+    cycle_seconds: float
+
+
+def run_decompose_ablation(
+    problem: StructureProblem | None = None,
+    max_leaf_atoms: int = 12,
+    batch_size: int = 16,
+    seed: int = 0,
+    methods: tuple[str, ...] = ("paper", "rcb", "graph-kl", "graph-spectral"),
+) -> list[DecomposeResult]:
+    """Evaluate candidate hierarchies on one problem."""
+    if problem is None:
+        problem = build_helix(4)
+    estimate = problem.initial_estimate(seed)
+
+    def build(method: str) -> Hierarchy:
+        if method == "paper":
+            return problem.hierarchy
+        if method == "rcb":
+            return recursive_coordinate_bisection(problem.true_coords, max_leaf_atoms)
+        if method == "graph-kl":
+            return graph_partition_hierarchy(
+                problem.n_atoms, problem.constraints, max_leaf_atoms, "kl", seed
+            )
+        if method == "graph-spectral":
+            return graph_partition_hierarchy(
+                problem.n_atoms, problem.constraints, max_leaf_atoms, "spectral", seed
+            )
+        raise ValueError(f"unknown method {method!r}")
+
+    results = []
+    for method in methods:
+        hierarchy = build(method)
+        assign_constraints(hierarchy, problem.constraints)
+        solver = HierarchicalSolver(hierarchy, batch_size=batch_size)
+        with recording() as rec:
+            cycle = solver.run_cycle(estimate)
+        results.append(
+            DecomposeResult(
+                method=method,
+                n_leaves=len(hierarchy.leaves()),
+                height=hierarchy.height(),
+                leaf_fraction=hierarchy.leaf_constraint_fraction(),
+                cycle_flops=rec.total_flops(),
+                cycle_seconds=cycle.seconds,
+            )
+        )
+    return results
+
+
+def format_decompose(results: list[DecomposeResult]) -> str:
+    return render_table(
+        ["method", "leaves", "height", "leaf_frac", "cycle_flops", "cycle_s"],
+        [
+            (r.method, r.n_leaves, r.height, r.leaf_fraction, r.cycle_flops, r.cycle_seconds)
+            for r in results
+        ],
+        title="Automatic decomposition ablation",
+    )

@@ -1,0 +1,146 @@
+"""Terminal line plots for the figure benchmarks.
+
+The paper's Figures 5-10 are curves; the benchmark harness renders them
+as monospace plots so a reproduction run shows the *shapes* directly in
+the terminal, with optional log axes for the growth-exponent figures.
+No plotting dependency needed or wanted.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.errors import ReproError
+
+#: Glyphs assigned to series, in order.
+SERIES_GLYPHS = "ox+*#@%&"
+
+
+class PlotError(ReproError, ValueError):
+    """Malformed plotting input."""
+
+
+def _transform(values: Sequence[float], log: bool, label: str) -> list[float]:
+    out = []
+    for v in values:
+        if log:
+            if v <= 0:
+                raise PlotError(f"log-scale {label} axis needs positive values, got {v}")
+            out.append(math.log10(v))
+        else:
+            out.append(float(v))
+    return out
+
+
+def line_plot(
+    x: Sequence[float],
+    series: dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 18,
+    logx: bool = False,
+    logy: bool = False,
+    title: str = "",
+    xlabel: str = "",
+    ylabel: str = "",
+) -> str:
+    """Render one or more y-series over shared x as an ASCII plot.
+
+    Each series gets a glyph from :data:`SERIES_GLYPHS`; the legend maps
+    glyphs to names.  Axis ranges are padded 2 %.
+    """
+    if not series:
+        raise PlotError("need at least one series")
+    if width < 16 or height < 6:
+        raise PlotError("plot too small to be legible")
+    n = len(x)
+    if n < 2:
+        raise PlotError("need at least two points")
+    for name, ys in series.items():
+        if len(ys) != n:
+            raise PlotError(f"series {name!r} length {len(ys)} != x length {n}")
+
+    tx = _transform(x, logx, "x")
+    tys = {name: _transform(ys, logy, "y") for name, ys in series.items()}
+    all_y = [v for ys in tys.values() for v in ys]
+    x_lo, x_hi = min(tx), max(tx)
+    y_lo, y_hi = min(all_y), max(all_y)
+    x_pad = (x_hi - x_lo) * 0.02 or 1.0
+    y_pad = (y_hi - y_lo) * 0.02 or 1.0
+    x_lo, x_hi = x_lo - x_pad, x_hi + x_pad
+    y_lo, y_hi = y_lo - y_pad, y_hi + y_pad
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def to_col(v: float) -> int:
+        return min(width - 1, max(0, int((v - x_lo) / (x_hi - x_lo) * (width - 1))))
+
+    def to_row(v: float) -> int:
+        return min(
+            height - 1,
+            max(0, height - 1 - int((v - y_lo) / (y_hi - y_lo) * (height - 1))),
+        )
+
+    for (name, ys), glyph in zip(tys.items(), SERIES_GLYPHS):
+        # connect consecutive points with interpolated steps
+        for (x0, y0), (x1, y1) in zip(zip(tx, ys), zip(tx[1:], ys[1:])):
+            steps = max(abs(to_col(x1) - to_col(x0)), abs(to_row(y1) - to_row(y0)), 1)
+            for s in range(steps + 1):
+                f = s / steps
+                grid[to_row(y0 + f * (y1 - y0))][to_col(x0 + f * (x1 - x0))] = glyph
+
+    def fmt_tick(v: float, log: bool) -> str:
+        raw = 10**v if log else v
+        return f"{raw:.3g}"
+
+    lines = []
+    if title:
+        lines.append(title)
+    top_tick = fmt_tick(y_hi, logy)
+    bot_tick = fmt_tick(y_lo, logy)
+    gut = max(len(top_tick), len(bot_tick)) + 1
+    for r, row in enumerate(grid):
+        if r == 0:
+            label = top_tick
+        elif r == height - 1:
+            label = bot_tick
+        else:
+            label = ""
+        lines.append(label.rjust(gut) + "|" + "".join(row))
+    lines.append(" " * gut + "+" + "-" * width)
+    x_line = (
+        " " * gut
+        + " "
+        + fmt_tick(x_lo, logx).ljust(width // 2)
+        + fmt_tick(x_hi, logx).rjust(width - width // 2 - 1)
+    )
+    lines.append(x_line)
+    axis_note = []
+    if xlabel or logx:
+        axis_note.append(f"x: {xlabel}{' (log)' if logx else ''}")
+    if ylabel or logy:
+        axis_note.append(f"y: {ylabel}{' (log)' if logy else ''}")
+    if axis_note:
+        lines.append(" " * gut + "  ".join(axis_note))
+    legend = "  ".join(
+        f"{glyph}={name}" for (name, _), glyph in zip(series.items(), SERIES_GLYPHS)
+    )
+    lines.append(" " * gut + legend)
+    return "\n".join(lines)
+
+
+def speedup_plot(
+    processor_counts: Sequence[float],
+    speedups: dict[str, Sequence[float]],
+    title: str = "speedup",
+) -> str:
+    """Speedup-vs-processors plot including the ideal line."""
+    series = {"ideal": [float(p) for p in processor_counts]}
+    series.update({k: list(v) for k, v in speedups.items()})
+    return line_plot(
+        processor_counts,
+        series,
+        title=title,
+        xlabel="processors",
+        ylabel="speedup",
+    )

@@ -1,0 +1,108 @@
+"""Machine-model calibration against published 1-processor breakdowns.
+
+The stock :func:`repro.machine.DASH` / :func:`repro.machine.CHALLENGE`
+configurations carry sustained per-category FLOP rates that were derived
+by exactly this procedure: run the real solver once, record its true
+per-category FLOP counts, and divide by a published per-category time
+breakdown.  The module exists so the derivation is reproducible and so
+users can calibrate models of *other* machines from their own profiles.
+
+Calibration uses one workload; any other workload then serves as
+out-of-sample validation (:func:`validate_against`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.hier_solver import HierCycleResult, HierarchicalSolver
+from repro.errors import SimulationError
+from repro.linalg.counters import OpCategory
+from repro.machine.config import MachineConfig
+from repro.molecules.problem import StructureProblem
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Derived rates plus the trace they were derived from."""
+
+    rates: dict[OpCategory, float]
+    flops: dict[OpCategory, float]
+    reference_seconds: dict[OpCategory, float]
+
+    def as_config(
+        self,
+        base: MachineConfig,
+        name: str | None = None,
+    ) -> MachineConfig:
+        """A copy of ``base`` with the calibrated rates installed."""
+        return MachineConfig(
+            name=name if name is not None else f"{base.name}-calibrated",
+            n_processors=base.n_processors,
+            cluster_size=base.cluster_size,
+            distributed=base.distributed,
+            rates=dict(self.rates),
+            serial_fraction=dict(base.serial_fraction),
+            barrier_seconds=base.barrier_seconds,
+            remote_byte_seconds=base.remote_byte_seconds,
+            remote_traffic_fraction=dict(base.remote_traffic_fraction),
+            bus_byte_seconds=base.bus_byte_seconds,
+            bus_traffic_fraction=dict(base.bus_traffic_fraction),
+        )
+
+
+def record_cycle(problem: StructureProblem, batch_size: int = 16, seed: int = 0) -> HierCycleResult:
+    """Run and record one hierarchical cycle of ``problem``."""
+    problem.assign()
+    solver = HierarchicalSolver(problem.hierarchy, batch_size=batch_size)
+    return solver.run_cycle(problem.initial_estimate(seed))
+
+
+def calibrate_rates(
+    cycle: HierCycleResult,
+    reference_seconds: dict[OpCategory, float],
+) -> CalibrationResult:
+    """Derive per-category rates: recorded FLOPs / published seconds."""
+    flops = {c: 0.0 for c in OpCategory}
+    for e in cycle.recorder.events:
+        flops[e.category] += e.flops
+    rates = {}
+    for cat in OpCategory:
+        ref = reference_seconds.get(cat)
+        if ref is None or ref <= 0:
+            raise SimulationError(f"missing reference time for category {cat}")
+        if flops[cat] <= 0:
+            raise SimulationError(f"trace has no {cat} work to calibrate against")
+        rates[cat] = flops[cat] / ref
+    return CalibrationResult(rates=rates, flops=flops, reference_seconds=dict(reference_seconds))
+
+
+def paper_reference(table: str) -> dict[OpCategory, float]:
+    """The paper's 1-processor category breakdown for ``table3``..``table6``."""
+    from repro.experiments import paper_data
+
+    row = paper_data.speedup_table(table)[0]
+    return {
+        OpCategory.DENSE_SPARSE: float(row["d_s"]),
+        OpCategory.CHOLESKY: float(row["chol"]),
+        OpCategory.SYSTEM: float(row["sys"]),
+        OpCategory.MATMAT: float(row["m_m"]),
+        OpCategory.MATVEC: float(row["m_v"]),
+        OpCategory.VECTOR: float(row["vec"]),
+    }
+
+
+def validate_against(
+    calibration: CalibrationResult,
+    cycle: HierCycleResult,
+    reference_total_seconds: float,
+) -> float:
+    """Relative error of the calibrated model's total-time prediction.
+
+    ``cycle`` must be a *different* workload from the calibration one for
+    this to mean anything.
+    """
+    predicted = 0.0
+    for e in cycle.recorder.events:
+        predicted += e.flops / calibration.rates[e.category]
+    return abs(predicted - reference_total_seconds) / reference_total_seconds

@@ -1,0 +1,135 @@
+"""§4.1 experiment: when does coarse-grained constraint splitting pay?
+
+The paper rejects parallelizing a node across *constraint subsets*
+because the Figure 3 combination costs as much as applying an
+n-dimensional constraint vector, so the total constraint dimension ``M``
+must far exceed the state dimension ``n`` to profit — and biological
+data are scarce.  This experiment makes that argument quantitative: for
+a node of size ``n`` with ``M`` constraint rows, it counts the actual
+FLOPs of (a) sequential application and (b) two-way split + combine, and
+reports the modeled 2-processor speedup
+
+    S(M, n) = f(M) / (f(M)/2 + g(n))
+
+(f = application FLOPs, g = combination FLOPs; each worker applies half
+the constraints concurrently, then one combination merges the halves).
+The crossover — the M/n ratio where S exceeds 1 — is the paper's
+"M needs to be much larger than n" made precise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constraints.distance import DistanceConstraint
+from repro.core.combine import combine_estimates
+from repro.core.flat import FlatSolver
+from repro.core.state import StructureEstimate
+from repro.experiments.report import render_table
+from repro.linalg import recording
+from repro.util.rng import make_rng
+
+
+@dataclass(frozen=True)
+class CombinationCostRow:
+    """One (n, M) cell of the split-vs-sequential comparison."""
+
+    n_atoms: int
+    state_dim: int
+    constraint_rows: int
+    apply_flops: float
+    combine_flops: float
+    mean_abs_error: float   # agreement of the two computation paths
+
+    @property
+    def two_way_speedup(self) -> float:
+        return self.apply_flops / (self.apply_flops / 2.0 + self.combine_flops)
+
+    @property
+    def rows_per_dim(self) -> float:
+        return self.constraint_rows / self.state_dim
+
+
+def _random_problem(n_atoms: int, rows: int, rng) -> tuple[StructureEstimate, list]:
+    coords = rng.normal(0.0, 3.0, (n_atoms, 3))
+    constraints = []
+    for _ in range(rows):
+        i, j = rng.choice(n_atoms, size=2, replace=False)
+        d = float(np.linalg.norm(coords[i] - coords[j]))
+        constraints.append(DistanceConstraint(int(i), int(j), max(d, 0.5), 0.25))
+    estimate = StructureEstimate.from_coords(
+        coords + rng.normal(0, 0.2, coords.shape), sigma=1.0
+    )
+    return estimate, constraints
+
+
+def run_combination_experiment(
+    n_atoms: int = 20,
+    row_multipliers: tuple[float, ...] = (0.25, 0.5, 1.0, 2.0, 4.0, 8.0),
+    batch_size: int = 16,
+    seed: int = 0,
+) -> list[CombinationCostRow]:
+    """Sweep the constraint volume for one node size."""
+    rng = make_rng(seed)
+    out = []
+    state_dim = 3 * n_atoms
+    for mult in row_multipliers:
+        rows = max(4, int(round(mult * state_dim)))
+        estimate, constraints = _random_problem(n_atoms, rows, rng)
+        half = len(constraints) // 2
+        set1, set2 = constraints[:half], constraints[half:]
+
+        with recording() as rec_apply:
+            sequential = FlatSolver(constraints, batch_size).run_cycle(estimate).estimate
+
+        post1 = FlatSolver(set1, batch_size).run_cycle(estimate).estimate
+        post2 = FlatSolver(set2, batch_size).run_cycle(estimate).estimate
+        with recording() as rec_combine:
+            combined = combine_estimates(estimate, post1, post2)
+
+        error = float(np.abs(combined.mean - sequential.mean).mean())
+        out.append(
+            CombinationCostRow(
+                n_atoms=n_atoms,
+                state_dim=state_dim,
+                constraint_rows=rows,
+                apply_flops=rec_apply.total_flops(),
+                combine_flops=rec_combine.total_flops(),
+                mean_abs_error=error,
+            )
+        )
+    return out
+
+
+def crossover_rows_per_dim(rows: list[CombinationCostRow]) -> float | None:
+    """Smallest measured M/n ratio at which the 2-way split wins (S > 1)."""
+    for row in sorted(rows, key=lambda r: r.rows_per_dim):
+        if row.two_way_speedup > 1.0:
+            return row.rows_per_dim
+    return None
+
+
+def format_combination(rows: list[CombinationCostRow]) -> str:
+    table = render_table(
+        ["rows", "M/n", "apply_GF", "combine_GF", "2-way speedup", "path error"],
+        [
+            (
+                r.constraint_rows,
+                r.rows_per_dim,
+                r.apply_flops / 1e9,
+                r.combine_flops / 1e9,
+                r.two_way_speedup,
+                r.mean_abs_error,
+            )
+            for r in rows
+        ],
+        title=f"Constraint-splitting economics at n = {rows[0].state_dim} "
+        f"({rows[0].n_atoms} atoms)",
+    )
+    cross = crossover_rows_per_dim(rows)
+    table += f"\ncrossover (split pays): M/n > {cross:.2g}" if cross else (
+        "\nsplit never pays in the measured range"
+    )
+    return table

@@ -1,0 +1,66 @@
+"""Report rendering and shape-assertion helpers.
+
+The benchmarks print our measurements side by side with the paper's and
+verify *shape* criteria (who wins, growth trends, where curves bend) —
+never absolute 1996 wall-clock times.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence], title: str = "") -> str:
+    """Monospace table with right-aligned columns; floats get 5 significant digits."""
+
+    def fmt(v) -> str:
+        if isinstance(v, float):
+            if v == 0:
+                return "0"
+            if abs(v) < 1e-3 or abs(v) >= 1e5:
+                return f"{v:.3e}"
+            return f"{v:.5g}"
+        return str(v)
+
+    cells = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+# ------------------------------------------------------------------ shapes
+def growth_exponent(x: Sequence[float], y: Sequence[float]) -> float:
+    """Least-squares slope of log y against log x (the power-law exponent)."""
+    lx = np.log(np.asarray(x, dtype=float))
+    ly = np.log(np.asarray(y, dtype=float))
+    slope, _ = np.polyfit(lx, ly, 1)
+    return float(slope)
+
+
+def is_monotone_increasing(values: Sequence[float], slack: float = 0.0) -> bool:
+    """True if each value is at least ``(1 - slack)`` of its predecessor."""
+    v = np.asarray(values, dtype=float)
+    return bool(np.all(v[1:] >= v[:-1] * (1.0 - slack)))
+
+
+def u_shape_minimum(x: Sequence[float], y: Sequence[float]) -> float:
+    """The ``x`` at which ``y`` attains its minimum (for U-shaped curves)."""
+    y = np.asarray(y, dtype=float)
+    return float(np.asarray(x, dtype=float)[int(np.argmin(y))])
+
+
+def relative_series(values: Sequence[float]) -> np.ndarray:
+    """Normalize a series by its first element (shape comparison aid)."""
+    v = np.asarray(values, dtype=float)
+    return v / v[0]

@@ -1,0 +1,185 @@
+"""Row-partitioned parallel kernels (the paper's §4.1 intra-node axis).
+
+The update procedure's heavy steps all have a natural row-parallel axis:
+the covariance update splits by rows of ``C``, the gain solve by
+right-hand-side columns, the dense-sparse products by rows.  This module
+implements that decomposition for real, on a thread pool — NumPy's BLAS
+releases the GIL inside each strip, so strips genuinely overlap on a
+multi-core host.
+
+Results are *bit-identical* to the serial kernels: each strip computes
+disjoint output rows with the same operands, so no floating-point
+reassociation occurs.  Strips are sized so each is a substantial BLAS
+call (too-fine strips lose more to dispatch than they gain; the same
+trade-off as the paper's constraint batching).
+
+These kernels are instrumented like their serial counterparts; the
+recorded events additionally carry the strip count in ``shape``.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+
+import numpy as np
+
+from repro.errors import DimensionError
+from repro.linalg.counters import OpCategory, emit, timed
+
+#: Minimum rows per strip; below this, strip dispatch overhead dominates.
+MIN_STRIP_ROWS = 64
+
+
+class ParallelKernels:
+    """Thread-pooled row-parallel GEMM-family kernels.
+
+    Use as a context manager (owns its pool), or construct with
+    ``n_threads=1`` for a no-pool passthrough that still exercises the
+    strip decomposition logic.
+    """
+
+    def __init__(self, n_threads: int):
+        if n_threads < 1:
+            raise DimensionError("n_threads must be >= 1")
+        self.n_threads = n_threads
+        self._pool = (
+            concurrent.futures.ThreadPoolExecutor(max_workers=n_threads)
+            if n_threads > 1
+            else None
+        )
+
+    # ------------------------------------------------------------ plumbing
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ParallelKernels":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _strips(self, rows: int) -> list[tuple[int, int]]:
+        n_strips = min(self.n_threads, max(1, rows // MIN_STRIP_ROWS))
+        bounds = np.linspace(0, rows, n_strips + 1).astype(int)
+        return [(int(a), int(b)) for a, b in zip(bounds, bounds[1:]) if b > a]
+
+    def _run(self, tasks) -> None:
+        if self._pool is None or len(tasks) == 1:
+            for t in tasks:
+                t()
+        else:
+            list(self._pool.map(lambda f: f(), tasks))
+
+    # ------------------------------------------------------------- kernels
+    def gemm(
+        self, a: np.ndarray, b: np.ndarray, category: OpCategory = OpCategory.MATMAT
+    ) -> np.ndarray:
+        """Row-parallel dense product ``a @ b``; identical to serial gemm."""
+        a = np.asarray(a, dtype=np.float64)
+        b = np.asarray(b, dtype=np.float64)
+        if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[0]:
+            raise DimensionError(f"gemm dimension mismatch: {a.shape} @ {b.shape}")
+        p, q = a.shape
+        r = b.shape[1]
+        out = np.empty((p, r), dtype=np.float64)
+        strips = self._strips(p)
+        t0 = timed()
+
+        def make(lo: int, hi: int):
+            def task() -> None:
+                np.matmul(a[lo:hi], b, out=out[lo:hi])
+
+            return task
+
+        self._run([make(lo, hi) for lo, hi in strips])
+        seconds = timed() - t0
+        emit(
+            category,
+            2.0 * p * q * r,
+            8.0 * (a.size + b.size + out.size),
+            (p, q, r, len(strips)),
+            seconds,
+            parallel_rows=p,
+        )
+        return out
+
+    def outer_update(
+        self, c: np.ndarray, k: np.ndarray, cht: np.ndarray
+    ) -> np.ndarray:
+        """Row-parallel ``C − K·CHᵗᵀ`` (the O(m·n²) covariance update)."""
+        c = np.asarray(c, dtype=np.float64)
+        k = np.asarray(k, dtype=np.float64)
+        cht = np.asarray(cht, dtype=np.float64)
+        n = c.shape[0]
+        if c.shape != (n, n) or k.shape != cht.shape or k.shape[0] != n:
+            raise DimensionError(
+                f"outer_update dimension mismatch: C{c.shape}, K{k.shape}, CHt{cht.shape}"
+            )
+        m = k.shape[1]
+        out = np.empty_like(c)
+        strips = self._strips(n)
+        t0 = timed()
+        cht_t = cht.T.copy()  # shared read-only operand, contiguous
+
+        def make(lo: int, hi: int):
+            def task() -> None:
+                np.matmul(k[lo:hi], cht_t, out=out[lo:hi])
+                np.subtract(c[lo:hi], out[lo:hi], out=out[lo:hi])
+
+            return task
+
+        self._run([make(lo, hi) for lo, hi in strips])
+        seconds = timed() - t0
+        emit(
+            OpCategory.MATMAT,
+            2.0 * n * n * m + n * n,
+            8.0 * (c.size + k.size + cht.size + out.size),
+            (n, m, len(strips)),
+            seconds,
+            parallel_rows=n,
+        )
+        return out
+
+    def solve_gain(self, lower: np.ndarray, cht: np.ndarray) -> np.ndarray:
+        """Column-parallel gain solve ``Kᵗ = (L Lᵗ)⁻¹ CHᵗᵀ`` → returns K.
+
+        The right-hand-side columns (one per state dimension) are
+        independent, which is why ``sys`` scales so well in Tables 3-6.
+        """
+        import scipy.linalg
+
+        lower = np.asarray(lower, dtype=np.float64)
+        cht = np.asarray(cht, dtype=np.float64)
+        m = lower.shape[0]
+        if lower.shape != (m, m) or cht.shape[0] == 0 or cht.shape[1] != m:
+            raise DimensionError(
+                f"solve_gain dimension mismatch: L{lower.shape}, CHt{cht.shape}"
+            )
+        n = cht.shape[0]
+        out = np.empty((n, m), dtype=np.float64)
+        strips = self._strips(n)
+        t0 = timed()
+
+        def make(lo: int, hi: int):
+            def task() -> None:
+                y = scipy.linalg.solve_triangular(
+                    lower, cht[lo:hi].T, lower=True, check_finite=False
+                )
+                out[lo:hi] = scipy.linalg.solve_triangular(
+                    lower.T, y, lower=False, check_finite=False
+                ).T
+
+            return task
+
+        self._run([make(lo, hi) for lo, hi in strips])
+        seconds = timed() - t0
+        emit(
+            OpCategory.SYSTEM,
+            2.0 * float(m) * m * n,
+            8.0 * (lower.size + 2 * cht.size),
+            (m, n, len(strips)),
+            seconds,
+            parallel_rows=n,
+        )
+        return out

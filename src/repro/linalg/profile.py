@@ -1,0 +1,101 @@
+"""Roofline-style analysis of recorded kernel traces.
+
+Given a recorder's event stream, compute per-category achieved FLOP
+rates, arithmetic intensities (FLOPs per byte touched) and aggregate
+statistics.  This is the profiling step of the optimization workflow the
+implementation follows (measure, then attribute): it shows directly why
+the paper's update procedure behaves as it does — the covariance update
+(``m-m``) has the highest intensity and dominates, while vector ops sit
+at the memory-bound floor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.linalg.counters import CATEGORY_ORDER, KernelEvent, OpCategory, Recorder
+
+
+@dataclass(frozen=True)
+class CategoryProfile:
+    """Aggregate statistics for one operation category."""
+
+    category: OpCategory
+    calls: int
+    flops: float
+    bytes: float
+    seconds: float
+
+    @property
+    def achieved_flops(self) -> float:
+        """FLOP/s realized on the measuring host (0 when untimed)."""
+        return self.flops / self.seconds if self.seconds > 0 else 0.0
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """FLOPs per byte touched — the roofline x-coordinate."""
+        return self.flops / self.bytes if self.bytes > 0 else 0.0
+
+    @property
+    def mean_call_flops(self) -> float:
+        return self.flops / self.calls if self.calls else 0.0
+
+
+@dataclass(frozen=True)
+class TraceProfile:
+    """Whole-trace profile; index with an :class:`OpCategory`."""
+
+    categories: dict[OpCategory, CategoryProfile]
+    total_flops: float
+    total_bytes: float
+    total_seconds: float
+
+    def __getitem__(self, cat: OpCategory) -> CategoryProfile:
+        return self.categories[cat]
+
+    def dominant_category(self) -> OpCategory:
+        """Category with the largest share of total FLOPs."""
+        return max(self.categories.values(), key=lambda c: c.flops).category
+
+    def share(self, cat: OpCategory) -> float:
+        """Fraction of total FLOPs spent in ``cat``."""
+        return self.categories[cat].flops / self.total_flops if self.total_flops else 0.0
+
+
+def profile_events(events: list[KernelEvent]) -> TraceProfile:
+    """Aggregate an event list into a :class:`TraceProfile`."""
+    acc: dict[OpCategory, list[float]] = {c: [0, 0.0, 0.0, 0.0] for c in OpCategory}
+    for e in events:
+        slot = acc[e.category]
+        slot[0] += 1
+        slot[1] += e.flops
+        slot[2] += e.bytes
+        slot[3] += e.seconds
+    categories = {
+        c: CategoryProfile(c, int(v[0]), v[1], v[2], v[3]) for c, v in acc.items()
+    }
+    return TraceProfile(
+        categories=categories,
+        total_flops=sum(v[1] for v in acc.values()),
+        total_bytes=sum(v[2] for v in acc.values()),
+        total_seconds=sum(v[3] for v in acc.values()),
+    )
+
+
+def profile_recorder(recorder: Recorder) -> TraceProfile:
+    """Convenience wrapper over :func:`profile_events`."""
+    return profile_events(recorder.events)
+
+
+def format_profile(profile: TraceProfile) -> str:
+    """Monospace table of the per-category roofline statistics."""
+    header = f"{'cat':>5} {'calls':>8} {'GFLOP':>9} {'GB':>9} {'sec':>8} {'GF/s':>8} {'F/B':>7} {'share':>6}"
+    lines = [header, "-" * len(header)]
+    for cat in CATEGORY_ORDER:
+        p = profile[cat]
+        lines.append(
+            f"{cat.value:>5} {p.calls:>8d} {p.flops / 1e9:>9.3f} {p.bytes / 1e9:>9.3f} "
+            f"{p.seconds:>8.3f} {p.achieved_flops / 1e9:>8.2f} "
+            f"{p.arithmetic_intensity:>7.2f} {profile.share(cat):>6.1%}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,48 @@
+"""Triangular system solves, instrumented as ``sys`` events.
+
+Computing the filter gain ``K = C⁻Hᵗ S⁻¹`` is done as two triangular
+solves against the Cholesky factor of ``S`` with the n×m right-hand side
+``C⁻Hᵗ`` — the paper's step 4, O(m²·n).  The many independent right-hand
+side columns give these solves a wide parallel axis, which is why ``sys``
+scales well in Tables 3-6 while the factorization itself does not.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.linalg
+
+from repro.errors import DimensionError
+from repro.linalg.counters import OpCategory, emit, timed
+
+
+def _check(tri: np.ndarray, b: np.ndarray) -> tuple[np.ndarray, np.ndarray, int, int]:
+    tri = np.asarray(tri, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if tri.ndim != 2 or tri.shape[0] != tri.shape[1]:
+        raise DimensionError("triangular solve expects a square triangular matrix")
+    m = tri.shape[0]
+    if b.shape[0] != m:
+        raise DimensionError(f"rhs has {b.shape[0]} rows, expected {m}")
+    k = 1 if b.ndim == 1 else b.shape[1]
+    return tri, b, m, k
+
+
+def solve_lower(lower: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Solve ``L y = b`` with ``L`` lower triangular; a ``sys`` event."""
+    lower, b, m, k = _check(lower, b)
+    t0 = timed()
+    out = scipy.linalg.solve_triangular(lower, b, lower=True, check_finite=False)
+    seconds = timed() - t0
+    emit(OpCategory.SYSTEM, float(m) * m * k, 8.0 * (lower.size + 2 * b.size), (m, k), seconds, parallel_rows=k)
+    return out
+
+
+def solve_upper(upper: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Solve ``U y = b`` with ``U`` upper triangular; a ``sys`` event."""
+    upper, b, m, k = _check(upper, b)
+    t0 = timed()
+    out = scipy.linalg.solve_triangular(upper, b, lower=False, check_finite=False)
+    seconds = timed() - t0
+    emit(OpCategory.SYSTEM, float(m) * m * k, 8.0 * (upper.size + 2 * b.size), (m, k), seconds, parallel_rows=k)
+    return out

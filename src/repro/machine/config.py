@@ -1,0 +1,218 @@
+"""Machine configurations: DASH, SGI Challenge, and custom machines.
+
+A :class:`MachineConfig` prices kernel execution, it does not execute
+anything: sustained per-category FLOP rates for one processor, Amdahl
+serial fractions bounding intra-kernel parallelism, barrier latency, and
+a memory model (distributed clusters with remote-access penalties, or a
+centralized bus with contention).
+
+Stock configurations:
+
+* :func:`DASH` — 32 × 33 MHz MIPS R3000, 8 clusters of 4, distributed
+  memory, directory coherence.  Remote cache misses are several times the
+  local cost, which is what throttles the dense-sparse kernels when a
+  node's processor group spans clusters (paper: d-s reaches only ~55-75 %
+  of ideal speedup on DASH).
+* :func:`CHALLENGE` — 16 × 100 MHz MIPS R4400, single 1.2 GB/s bus,
+  centralized memory: uniform access cost, mild bus contention.
+
+The per-category rates are calibrated so that a 1-processor run of the
+Helix-16 workload reproduces the paper's Table 3/Table 5 time breakdown;
+they are plausible sustained fractions of the parts' peak FLOP rates
+(e.g. DASH m-m ≈ 9.2 MFLOPS out of a 33 MHz R3000/R3010's ~16 MFLOPS
+peak; sparse and vector kernels sustain far less).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+from repro.linalg.counters import OpCategory
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """Cost parameters of a simulated shared-memory multiprocessor.
+
+    Attributes
+    ----------
+    name:
+        Label used in reports.
+    n_processors:
+        Processors physically present.
+    cluster_size:
+        Processors per bus cluster; equal to ``n_processors`` for a
+        centralized (single-bus) machine.
+    distributed:
+        Whether main memory is physically distributed across clusters
+        (DASH) or centralized (Challenge).
+    rates:
+        Sustained FLOP/s of one processor per operation category.
+    serial_fraction:
+        Amdahl non-parallelizable fraction of each category's kernels
+        (dependency chains in Cholesky panels, unreusable streaming in
+        vector ops, ...).
+    barrier_seconds:
+        Cost of one intra-kernel synchronization step; kernels on ``p``
+        processors pay ``barrier_seconds · ceil(log2 p)``.
+    remote_byte_seconds:
+        Distributed machines: extra cost per byte served from a remote
+        cluster.
+    remote_traffic_fraction:
+        Fraction of a kernel's bytes that go remote when its group spans
+        more than one cluster, per category (sparse gathers are high,
+        tiled dense products low).
+    bus_byte_seconds:
+        Centralized machines: per-byte occupancy of the shared bus.
+    bus_traffic_fraction:
+        Fraction of a kernel's touched bytes that actually cross the bus
+        (its cache-miss traffic): tiled dense products re-use almost
+        everything, sparse gathers and streaming vector ops do not.
+    placement:
+        Data-placement policy for distributed machines (see
+        :mod:`repro.machine.placement`); the paper's node-local
+        round-robin is the default.
+    topology:
+        ``"uniform"`` (flat remote cost) or ``"mesh"`` (remote cost scaled
+        by average mesh hop distance between the group's clusters; see
+        :mod:`repro.machine.topology`).
+    hop_penalty:
+        Extra cost per mesh hop beyond the first, as a fraction of the
+        base remote rate.  Only used with ``topology="mesh"``.
+    """
+
+    name: str
+    n_processors: int
+    cluster_size: int
+    distributed: bool
+    rates: dict[OpCategory, float]
+    serial_fraction: dict[OpCategory, float]
+    barrier_seconds: float
+    remote_byte_seconds: float = 0.0
+    remote_traffic_fraction: dict[OpCategory, float] = field(default_factory=dict)
+    bus_byte_seconds: float = 0.0
+    bus_traffic_fraction: dict[OpCategory, float] = field(default_factory=dict)
+    placement: str = "node-local"
+    topology: str = "uniform"
+    hop_penalty: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.topology not in ("uniform", "mesh"):
+            raise SimulationError(f"unknown topology {self.topology!r}")
+        if self.n_processors < 1:
+            raise SimulationError("machine needs at least one processor")
+        if self.cluster_size < 1 or self.n_processors % self.cluster_size:
+            raise SimulationError("cluster_size must divide n_processors")
+        for cat in OpCategory:
+            if cat not in self.rates or self.rates[cat] <= 0:
+                raise SimulationError(f"missing or non-positive rate for {cat}")
+            f = self.serial_fraction.get(cat, 0.0)
+            if not 0.0 <= f <= 1.0:
+                raise SimulationError(f"serial fraction for {cat} outside [0, 1]")
+
+    @property
+    def n_clusters(self) -> int:
+        return self.n_processors // self.cluster_size
+
+
+#: Rates calibrated on the paper's Table 3 (Helix on DASH, 1 processor).
+_DASH_RATES = {
+    OpCategory.DENSE_SPARSE: 1.46e6,
+    OpCategory.CHOLESKY: 5.7e5,
+    OpCategory.SYSTEM: 1.43e6,
+    OpCategory.MATMAT: 9.17e6,
+    OpCategory.MATVEC: 1.59e6,
+    OpCategory.VECTOR: 9.1e5,
+}
+
+#: Rates calibrated on the paper's Table 5 (Helix on Challenge, 1 processor).
+_CHALLENGE_RATES = {
+    OpCategory.DENSE_SPARSE: 4.67e6,
+    OpCategory.CHOLESKY: 1.62e6,
+    OpCategory.SYSTEM: 4.05e6,
+    OpCategory.MATMAT: 2.74e7,
+    OpCategory.MATVEC: 1.02e7,
+    OpCategory.VECTOR: 2.73e6,
+}
+
+_SERIAL_FRACTIONS = {
+    OpCategory.DENSE_SPARSE: 0.02,
+    OpCategory.CHOLESKY: 0.55,   # panel factorization dependency chain
+    OpCategory.SYSTEM: 0.02,     # many independent right-hand sides
+    OpCategory.MATMAT: 0.005,    # tiles perfectly
+    OpCategory.MATVEC: 0.05,
+    OpCategory.VECTOR: 0.35,     # streaming, interleaved, no cache reuse
+}
+
+_REMOTE_FRACTIONS = {
+    OpCategory.DENSE_SPARSE: 0.55,  # sparse row gathers hit random homes
+    OpCategory.CHOLESKY: 0.05,
+    OpCategory.SYSTEM: 0.04,
+    OpCategory.MATMAT: 0.015,       # tiled: mostly local reuse
+    OpCategory.MATVEC: 0.10,
+    OpCategory.VECTOR: 0.20,
+}
+
+#: Cache-miss (bus) traffic as a fraction of bytes touched, per category.
+_BUS_FRACTIONS = {
+    OpCategory.DENSE_SPARSE: 0.35,
+    OpCategory.CHOLESKY: 0.05,
+    OpCategory.SYSTEM: 0.04,
+    OpCategory.MATMAT: 0.02,
+    OpCategory.MATVEC: 0.15,
+    OpCategory.VECTOR: 0.30,
+}
+
+
+def DASH() -> MachineConfig:
+    """The Stanford DASH configuration used in Tables 3 and 4."""
+    return MachineConfig(
+        name="DASH",
+        n_processors=32,
+        cluster_size=4,
+        distributed=True,
+        rates=dict(_DASH_RATES),
+        serial_fraction=dict(_SERIAL_FRACTIONS),
+        barrier_seconds=30e-6,
+        remote_byte_seconds=1.0 / 12e6,  # ~12 MB/s effective remote stream
+        remote_traffic_fraction=dict(_REMOTE_FRACTIONS),
+    )
+
+
+def CHALLENGE() -> MachineConfig:
+    """The SGI Challenge configuration used in Tables 5 and 6."""
+    return MachineConfig(
+        name="Challenge",
+        n_processors=16,
+        cluster_size=16,
+        distributed=False,
+        rates=dict(_CHALLENGE_RATES),
+        serial_fraction=dict(_SERIAL_FRACTIONS),
+        barrier_seconds=8e-6,
+        bus_byte_seconds=1.0 / 1.2e9,  # 1.2 GB/s shared bus
+        bus_traffic_fraction=dict(_BUS_FRACTIONS),
+    )
+
+
+def uniform_machine(
+    n_processors: int,
+    flops: float = 1e9,
+    name: str = "uniform",
+    serial_fraction: float = 0.0,
+    barrier_seconds: float = 0.0,
+) -> MachineConfig:
+    """An idealized machine: one rate for every category, optional overheads.
+
+    Useful for tests (with zero overheads, speedups are limited only by
+    the task graph and assignment) and for what-if studies.
+    """
+    return MachineConfig(
+        name=name,
+        n_processors=n_processors,
+        cluster_size=n_processors,
+        distributed=False,
+        rates={c: flops for c in OpCategory},
+        serial_fraction={c: serial_fraction for c in OpCategory},
+        barrier_seconds=barrier_seconds,
+    )

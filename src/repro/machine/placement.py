@@ -1,0 +1,75 @@
+"""Data-placement policies for distributed-memory machines (§4.4/§5).
+
+On DASH, every memory page has a *home cluster*; references served by a
+remote home cost several times a local miss.  The paper places each
+node's larger data structures round-robin across exactly the clusters
+assigned to that node ("to improve locality in main memory ... in a
+round-robin fashion to avoid hot spots") and identifies data locality as
+a key further-work axis.
+
+Three policies are modeled, differing in which share of a kernel's
+miss traffic goes remote for a group of processors:
+
+* ``node-local`` — the paper's policy: data homed round-robin over the
+  group's own clusters; a reference is remote only when the group spans
+  several clusters, with share ``1 − 1/spanned``.
+* ``global-round-robin`` — pages striped over *all* clusters regardless
+  of who computes: share ``1 − 1/n_clusters`` always (even a group inside
+  one cluster mostly misses to other clusters' homes).
+* ``centralized-home`` — everything homed on cluster 0 (what naive
+  first-touch by an initializing master produces): processors in cluster
+  0 hit locally, everyone else remotely.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.machine.config import MachineConfig
+
+POLICIES = ("node-local", "global-round-robin", "centralized-home")
+
+
+def remote_share(
+    policy: str,
+    proc_range: tuple[int, int],
+    cfg: MachineConfig,
+) -> float:
+    """Fraction of miss traffic served by remote clusters under ``policy``."""
+    if policy not in POLICIES:
+        raise SimulationError(f"unknown placement policy {policy!r}; choose from {POLICIES}")
+    lo, hi = proc_range
+    if hi <= lo:
+        raise SimulationError(f"empty processor range {proc_range}")
+    if not cfg.distributed or cfg.n_clusters == 1:
+        return 0.0
+    from repro.machine.costmodel import clusters_spanned
+
+    if policy == "node-local":
+        spanned = clusters_spanned(proc_range, cfg.cluster_size)
+        return 0.0 if spanned <= 1 else 1.0 - 1.0 / spanned
+    if policy == "global-round-robin":
+        return 1.0 - 1.0 / cfg.n_clusters
+    # centralized-home: processors in cluster 0 are local, the rest remote.
+    in_home = max(0, min(hi, cfg.cluster_size) - lo)
+    return 1.0 - in_home / (hi - lo)
+
+
+def with_placement(cfg: MachineConfig, policy: str) -> MachineConfig:
+    """A copy of ``cfg`` using ``policy`` (validated here, applied by the
+    cost model)."""
+    if policy not in POLICIES:
+        raise SimulationError(f"unknown placement policy {policy!r}; choose from {POLICIES}")
+    return MachineConfig(
+        name=f"{cfg.name}/{policy}",
+        n_processors=cfg.n_processors,
+        cluster_size=cfg.cluster_size,
+        distributed=cfg.distributed,
+        rates=dict(cfg.rates),
+        serial_fraction=dict(cfg.serial_fraction),
+        barrier_seconds=cfg.barrier_seconds,
+        remote_byte_seconds=cfg.remote_byte_seconds,
+        remote_traffic_fraction=dict(cfg.remote_traffic_fraction),
+        bus_byte_seconds=cfg.bus_byte_seconds,
+        bus_traffic_fraction=dict(cfg.bus_traffic_fraction),
+        placement=policy,
+    )

@@ -1,0 +1,148 @@
+"""List-scheduling simulation of the hierarchical solve on a machine model.
+
+The unit of scheduling is a *node task*: the full kernel sequence one
+hierarchy node executes on its assigned processor group.  Constraints:
+
+* a node starts only after all its children have finished (tree data
+  dependency — the parent consumes the children's posteriors), and
+* a node starts only when every processor of its group is free
+  (groups are gang-scheduled: the intra-node kernels are parallel phases
+  over the whole group).
+
+Sibling subtrees with disjoint groups run concurrently — the hierarchy
+axis of parallelism; subtrees sharing a processor serialize on it.  Both
+behaviours fall out of the two rules above, including the paper's
+observation that the Helix's binary tree loses efficiency whenever the
+processor count is not a power of two (unequal sibling groups must
+synchronize at the parent).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.assignment import ProcessorAssignment
+from repro.core.hierarchy import Hierarchy
+from repro.core.hier_solver import HierCycleResult, NodeSolveRecord
+from repro.errors import SimulationError
+from repro.linalg.counters import OpCategory
+from repro.machine.config import MachineConfig
+from repro.machine.costmodel import node_elapsed
+from repro.machine.trace import CategoryBreakdown, NodeTimeline, SimulationResult
+
+
+@dataclass
+class MachineSimulator:
+    """Prices one recorded solve cycle on one machine configuration."""
+
+    config: MachineConfig
+
+    def simulate(
+        self,
+        hierarchy: Hierarchy,
+        records: dict[int, NodeSolveRecord],
+        assignment: ProcessorAssignment,
+    ) -> SimulationResult:
+        """Schedule the recorded node tasks; return makespan and breakdown.
+
+        ``records`` maps node id → the solver's :class:`NodeSolveRecord`
+        (its recorded kernel events); ``assignment`` fixes each node's
+        processor range.  The simulation is deterministic.
+        """
+        n_procs = assignment.n_processors
+        if n_procs > self.config.n_processors:
+            raise SimulationError(
+                f"assignment needs {n_procs} processors, machine "
+                f"{self.config.name} has {self.config.n_processors}"
+            )
+        proc_free = np.zeros(n_procs, dtype=np.float64)
+        busy = np.zeros(n_procs, dtype=np.float64)
+        cat_busy = {c: 0.0 for c in OpCategory}
+        finish_time: dict[int, float] = {}
+        timeline: list[NodeTimeline] = []
+
+        for node in hierarchy.post_order():
+            rec = records.get(node.nid)
+            if rec is None:
+                raise SimulationError(f"no solve record for node {node.nid}")
+            lo, hi = assignment.ranges[node.nid]
+            p = hi - lo
+            elapsed, by_cat = node_elapsed(rec.events, (lo, hi), self.config)
+            data_ready = max((finish_time[c.nid] for c in node.children), default=0.0)
+            procs_ready = float(proc_free[lo:hi].max(initial=0.0))
+            start = max(data_ready, procs_ready)
+            finish = start + elapsed
+            finish_time[node.nid] = finish
+            proc_free[lo:hi] = finish
+            busy[lo:hi] += elapsed
+            for cat, t in by_cat.items():
+                cat_busy[cat] += t * p
+            timeline.append(
+                NodeTimeline(node.nid, node.name, (lo, hi), start, finish)
+            )
+
+        breakdown = CategoryBreakdown(
+            {c: cat_busy[c] / n_procs for c in OpCategory}
+        )
+        return SimulationResult(
+            machine=self.config.name,
+            n_processors=n_procs,
+            work_time=finish_time[hierarchy.root.nid],
+            breakdown=breakdown,
+            timeline=timeline,
+            busy_per_processor=busy.tolist(),
+        )
+
+
+def simulate_solve(
+    cycle: HierCycleResult,
+    hierarchy: Hierarchy,
+    config: MachineConfig,
+    n_processors: int,
+    model=None,
+    batch_size: int = 16,
+) -> SimulationResult:
+    """Convenience wrapper: assign processors, then simulate a recorded cycle.
+
+    ``model`` is the work-estimation model used by the static assignment;
+    ``None`` uses the measured per-node FLOPs from the cycle itself priced
+    at the machine's rates — an *oracle* work estimate, useful to isolate
+    scheduling effects from work-model error.
+    """
+    from repro.core.assignment import ProcessorAssignment, assign_processors
+
+    records = cycle.record_by_nid()
+    if model is None:
+        assignment = _oracle_assignment(hierarchy, records, config, n_processors)
+    else:
+        assignment = assign_processors(hierarchy, n_processors, model, batch_size)
+    return MachineSimulator(config).simulate(hierarchy, records, assignment)
+
+
+def _oracle_assignment(
+    hierarchy: Hierarchy,
+    records: dict[int, NodeSolveRecord],
+    config: MachineConfig,
+    n_processors: int,
+) -> ProcessorAssignment:
+    """Assignment driven by the true single-processor cost of each node."""
+    from repro.core.assignment import ProcessorAssignment, _descend
+
+    node_work: dict[int, float] = {}
+    subtree: dict[int, float] = {}
+    for node in hierarchy.post_order():
+        events = records[node.nid].events
+        own = sum(e.flops / config.rates[e.category] for e in events)
+        node_work[node.nid] = own
+        subtree[node.nid] = own + sum(subtree[c.nid] for c in node.children)
+    asg = ProcessorAssignment(
+        n_processors=n_processors, node_work=node_work, subtree_work=subtree
+    )
+    root = hierarchy.root
+    asg.procs[root.nid] = n_processors
+    asg.ranges[root.nid] = (0, n_processors)
+    _descend(root, n_processors, 0, asg)
+    asg.validate(hierarchy)
+    return asg

@@ -1,0 +1,93 @@
+"""Interconnect topology: mesh hop distances between DASH clusters.
+
+DASH's clusters are "connected together in a mesh network" — a remote
+reference does not cost one flat figure but scales with how far the home
+cluster sits.  The base cost model charges a flat remote rate; this
+module refines it: for a processor group spanning several clusters under
+node-local placement, references are distributed over the group's
+clusters, so the *average hop count* between the group's clusters scales
+the per-byte remote cost.
+
+The topology is a 2-D mesh over cluster ids in row-major order (DASH's 8
+clusters form a 4×2 grid); hop distance is Manhattan.  A ``"uniform"``
+topology (every remote access equal) reproduces the base model exactly.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.errors import SimulationError
+
+
+def mesh_shape(n_clusters: int) -> tuple[int, int]:
+    """The most-square 2-D factorization of ``n_clusters`` (rows ≤ cols)."""
+    if n_clusters < 1:
+        raise SimulationError("need at least one cluster")
+    best = (1, n_clusters)
+    for rows in range(1, int(n_clusters**0.5) + 1):
+        if n_clusters % rows == 0:
+            best = (rows, n_clusters // rows)
+    return best
+
+
+def mesh_coords(cluster: int, shape: tuple[int, int]) -> tuple[int, int]:
+    """Row-major (row, col) position of ``cluster`` on the mesh."""
+    rows, cols = shape
+    if not 0 <= cluster < rows * cols:
+        raise SimulationError(f"cluster {cluster} outside the {rows}x{cols} mesh")
+    return divmod(cluster, cols)
+
+
+def hop_distance(a: int, b: int, shape: tuple[int, int]) -> int:
+    """Manhattan hop count between two clusters on the mesh."""
+    ra, ca = mesh_coords(a, shape)
+    rb, cb = mesh_coords(b, shape)
+    return abs(ra - rb) + abs(ca - cb)
+
+
+def clusters_of_range(proc_range: tuple[int, int], cluster_size: int) -> list[int]:
+    """Cluster ids touched by processor ids ``[lo, hi)``."""
+    lo, hi = proc_range
+    if hi <= lo:
+        raise SimulationError(f"empty processor range {proc_range}")
+    return list(range(lo // cluster_size, (hi - 1) // cluster_size + 1))
+
+
+def average_remote_hops(
+    proc_range: tuple[int, int], cluster_size: int, n_clusters: int
+) -> float:
+    """Mean hop count of *remote* references within a group's clusters.
+
+    Under node-local placement a group's data is striped over its own
+    clusters; a reference from cluster ``c`` to home ``h ≠ c`` travels
+    ``hop(c, h)`` mesh hops.  Averaging over all ordered pairs of distinct
+    clusters in the group gives the expected distance of a remote
+    reference.  Single-cluster groups have no remote references (0.0).
+    """
+    clusters = clusters_of_range(proc_range, cluster_size)
+    if len(clusters) <= 1:
+        return 0.0
+    shape = mesh_shape(n_clusters)
+    pairs = [
+        hop_distance(a, b, shape)
+        for a, b in itertools.permutations(clusters, 2)
+    ]
+    return sum(pairs) / len(pairs)
+
+
+def hop_cost_multiplier(
+    proc_range: tuple[int, int],
+    cluster_size: int,
+    n_clusters: int,
+    hop_penalty: float,
+) -> float:
+    """Remote-cost scale factor: ``1 + hop_penalty · (avg_hops − 1)``.
+
+    One hop is the minimum any remote reference pays (it is what the flat
+    remote rate was calibrated to); extra hops add ``hop_penalty`` each.
+    """
+    hops = average_remote_hops(proc_range, cluster_size, n_clusters)
+    if hops <= 1.0:
+        return 1.0
+    return 1.0 + hop_penalty * (hops - 1.0)

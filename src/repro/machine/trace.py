@@ -1,0 +1,94 @@
+"""Simulation outputs: timelines, breakdowns, and table formatting.
+
+The quantities mirror the paper's Tables 3-6:
+
+* **work time** — the makespan of the simulated schedule (the paper's
+  total execution time minus initialization/input/output, which the
+  simulator never models in the first place);
+* **speedup** — 1-processor work time over ``P``-processor work time;
+* **per-category times** — the *average per-processor busy time* spent
+  inside each kernel category.  Every processor of a group is engaged
+  (working or stalled) for a kernel's full elapsed time, so a kernel on
+  ``p`` of ``P`` processors contributes ``elapsed · p / P`` to the
+  average — which is what per-processor profiling on the real machines
+  measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.linalg.counters import CATEGORY_ORDER, OpCategory
+
+
+@dataclass(frozen=True)
+class NodeTimeline:
+    """Schedule record of one hierarchy node."""
+
+    nid: int
+    name: str
+    proc_range: tuple[int, int]
+    start: float
+    finish: float
+
+    @property
+    def elapsed(self) -> float:
+        return self.finish - self.start
+
+
+@dataclass
+class CategoryBreakdown:
+    """Average per-processor busy seconds per kernel category."""
+
+    seconds: dict[OpCategory, float] = field(default_factory=dict)
+
+    def __getitem__(self, cat: OpCategory) -> float:
+        return self.seconds.get(cat, 0.0)
+
+    def total(self) -> float:
+        return sum(self.seconds.values())
+
+    def as_row(self) -> list[float]:
+        return [self.seconds.get(c, 0.0) for c in CATEGORY_ORDER]
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of simulating one solve cycle on one machine configuration."""
+
+    machine: str
+    n_processors: int
+    work_time: float
+    breakdown: CategoryBreakdown
+    timeline: list[NodeTimeline]
+    busy_per_processor: list[float]
+
+    @property
+    def utilization(self) -> float:
+        """Mean fraction of the makespan each processor spent busy."""
+        if self.work_time <= 0:
+            return 1.0
+        return sum(self.busy_per_processor) / (self.n_processors * self.work_time)
+
+    def speedup_over(self, single: "SimulationResult") -> float:
+        return single.work_time / self.work_time
+
+
+HEADER = ("NP", "time", "spdup", "d-s", "chol", "sys", "m-m", "m-v", "vec")
+
+
+def format_speedup_table(results: list[SimulationResult]) -> str:
+    """Render a list of results (ascending P, P=1 first) as a Table 3-6 clone."""
+    if not results:
+        return "(no results)"
+    base = results[0]
+    lines = ["  ".join(f"{h:>8s}" for h in HEADER)]
+    for r in results:
+        row = [
+            f"{r.n_processors:>8d}",
+            f"{r.work_time:>8.2f}",
+            f"{r.speedup_over(base):>8.2f}",
+        ]
+        row += [f"{v:>8.2f}" for v in r.breakdown.as_row()]
+        lines.append("  ".join(row))
+    return "\n".join(lines)

@@ -1,0 +1,27 @@
+"""Molecular workload generators.
+
+These build the paper's two benchmark problems — the RNA double helix
+(§3.1, Figure 2) and the prokaryotic 30S ribosomal subunit (§4.4,
+Figure 4) — as synthetic but faithfully-sized structures: the same atom
+counts, constraint categories, constraint volumes and hierarchy shapes,
+so the estimator and the parallel machinery see the same computational
+structure as the paper's real data sets.
+"""
+
+from repro.molecules.problem import StructureProblem
+from repro.molecules.rna import BASE_LIBRARY, build_helix
+from repro.molecules.protein import build_protein
+from repro.molecules.ribosome import build_ribo30s
+from repro.molecules.perturb import perturbed_estimate
+from repro.molecules.superpose import superpose, superposed_rmsd
+
+__all__ = [
+    "BASE_LIBRARY",
+    "StructureProblem",
+    "build_helix",
+    "build_protein",
+    "build_ribo30s",
+    "perturbed_estimate",
+    "superpose",
+    "superposed_rmsd",
+]

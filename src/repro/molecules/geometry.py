@@ -1,0 +1,91 @@
+"""Deterministic pseudo-atom geometry for idealized A-form RNA.
+
+The generators need non-degenerate, reproducible 3-D positions with
+realistic length scales — not crystallographic accuracy.  Atom positions
+within a base are laid out by smooth deterministic functions of the atom
+index (trigonometric "jitter"), which guarantees distinct positions and
+stable nearest-neighbour structure across runs without any RNG.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constraints import library
+
+
+def helix_frame(pair_index: int) -> tuple[float, float]:
+    """(twist angle, axial height) of base pair ``pair_index`` on the helix axis."""
+    return (
+        pair_index * library.HELIX_TWIST,
+        pair_index * library.HELIX_RISE,
+    )
+
+
+def backbone_positions(phi: float, z: float, strand: int, n_atoms: int = 12) -> np.ndarray:
+    """Positions of a base's backbone pseudo-atoms.
+
+    The backbone hugs the helix rim near radius
+    :data:`repro.constraints.library.HELIX_RADIUS`; ``strand`` (+1/−1)
+    mirrors the two antiparallel strands.
+    """
+    a = np.arange(n_atoms, dtype=np.float64)
+    ang = phi + strand * (0.055 * a - 0.30)
+    radius = library.HELIX_RADIUS + 0.55 * np.cos(1.7 * a + 0.3)
+    zz = z + 0.45 * np.sin(1.3 * a) + strand * 0.25
+    return np.column_stack([radius * np.cos(ang), radius * np.sin(ang), zz])
+
+
+def sidechain_positions(phi: float, z: float, strand: int, n_atoms: int) -> np.ndarray:
+    """Positions of a base's sidechain pseudo-atoms, extending toward the axis."""
+    s = np.arange(n_atoms, dtype=np.float64)
+    frac = (s + 0.5) / n_atoms
+    radius = 8.0 - 6.5 * frac
+    ang = phi + strand * (0.12 * np.sin(2.1 * s) - 0.05)
+    zz = z + 0.35 * np.cos(1.9 * s + 0.7) + strand * 0.15
+    return np.column_stack([radius * np.cos(ang), radius * np.sin(ang), zz])
+
+
+def pairwise_distances(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Dense ``(len(a), len(b))`` Euclidean distance matrix."""
+    diff = a[:, None, :] - b[None, :, :]
+    return np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+
+
+def knn_pairs(
+    coords: np.ndarray,
+    group_a: np.ndarray,
+    group_b: np.ndarray,
+    k: int,
+) -> list[tuple[int, int]]:
+    """Symmetric k-nearest-neighbour pairs between two atom groups.
+
+    For every atom of ``group_a`` its ``k`` nearest atoms of ``group_b``
+    are linked, and vice versa; duplicate links are merged.  Pairs are
+    returned sorted for determinism, as ``(smaller_id, larger_id)``.
+    """
+    d = pairwise_distances(coords[group_a], coords[group_b])
+    k_ab = min(k, len(group_b))
+    k_ba = min(k, len(group_a))
+    pairs: set[tuple[int, int]] = set()
+    nearest_b = np.argsort(d, axis=1, kind="stable")[:, :k_ab]
+    for ia, row in enumerate(nearest_b):
+        for jb in row:
+            u, v = int(group_a[ia]), int(group_b[jb])
+            pairs.add((min(u, v), max(u, v)))
+    nearest_a = np.argsort(d, axis=0, kind="stable")[:k_ba, :]
+    for jb in range(d.shape[1]):
+        for ia in nearest_a[:, jb]:
+            u, v = int(group_a[ia]), int(group_b[jb])
+            pairs.add((min(u, v), max(u, v)))
+    return sorted(pairs)
+
+
+def all_pairs(group: np.ndarray) -> list[tuple[int, int]]:
+    """All unordered atom pairs within a group, as sorted ``(low, high)`` tuples."""
+    g = np.sort(np.asarray(group))
+    out = []
+    for i in range(len(g)):
+        for j in range(i + 1, len(g)):
+            out.append((int(g[i]), int(g[j])))
+    return out

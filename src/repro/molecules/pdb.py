@@ -1,0 +1,87 @@
+"""Minimal PDB-format output/input for estimated structures.
+
+Structural biologists inspect results in molecular viewers; the lingua
+franca is the PDB ATOM record.  :func:`write_pdb` emits one pseudo-atom
+per ATOM line and — the important part — stores the estimator's per-atom
+positional uncertainty in the **B-factor column**, which is exactly what
+that column means crystallographically (atomic displacement).  Viewers
+colour by B-factor out of the box, so "which parts of the molecule does
+the data define well" becomes a picture.
+
+Only the fixed-column ATOM/TER/END subset of the format is implemented;
+:func:`read_pdb` parses back what :func:`write_pdb` writes.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.state import StructureEstimate
+from repro.errors import DimensionError, ReproError
+
+
+class PDBError(ReproError, ValueError):
+    """Malformed PDB content."""
+
+
+def write_pdb(
+    path: str | Path,
+    estimate: StructureEstimate,
+    title: str = "repro estimated structure",
+    chain: str = "A",
+) -> None:
+    """Write an estimate as a PDB file with uncertainty as B-factors.
+
+    B-factors are the crystallographic convention ``8π²/3 · <u²>`` with
+    ``<u²>`` the mean-square displacement — here the per-atom variance
+    from the covariance diagonal.
+    """
+    coords = estimate.coords
+    sigma = estimate.atom_uncertainty()
+    bfactors = (8.0 * np.pi**2 / 3.0) * sigma**2
+    lines = [f"TITLE     {title[:60]}"]
+    for a in range(coords.shape[0]):
+        x, y, z = coords[a]
+        serial = (a % 99999) + 1
+        lines.append(
+            f"ATOM  {serial:>5d}  CA  UNK {chain}{(a % 9999) + 1:>4d}    "
+            f"{x:8.3f}{y:8.3f}{z:8.3f}{1.00:6.2f}{min(bfactors[a], 999.99):6.2f}"
+            f"           C"
+        )
+    lines.append("TER")
+    lines.append("END")
+    Path(path).write_text("\n".join(lines) + "\n")
+
+
+def read_pdb(path: str | Path) -> tuple[np.ndarray, np.ndarray]:
+    """Parse coordinates and B-factors from ATOM records.
+
+    Returns ``(coords (p, 3), bfactors (p,))``.
+    """
+    coords = []
+    bfactors = []
+    for line in Path(path).read_text().splitlines():
+        if not line.startswith("ATOM"):
+            continue
+        try:
+            x = float(line[30:38])
+            y = float(line[38:46])
+            z = float(line[46:54])
+            b = float(line[60:66])
+        except (ValueError, IndexError) as exc:
+            raise PDBError(f"malformed ATOM record: {line!r}") from exc
+        coords.append((x, y, z))
+        bfactors.append(b)
+    if not coords:
+        raise PDBError(f"no ATOM records found in {path}")
+    return np.array(coords, dtype=np.float64), np.array(bfactors, dtype=np.float64)
+
+
+def bfactor_to_sigma(bfactors: np.ndarray) -> np.ndarray:
+    """Invert the B-factor convention back to positional sigma (Å)."""
+    b = np.asarray(bfactors, dtype=np.float64)
+    if np.any(b < 0):
+        raise DimensionError("B-factors must be non-negative")
+    return np.sqrt(b * 3.0 / (8.0 * np.pi**2))

@@ -1,0 +1,71 @@
+"""The bundled structure-estimation problem: coordinates + constraints + tree."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.constraints.base import Constraint
+from repro.core.hierarchy import Hierarchy, assign_constraints
+from repro.core.state import StructureEstimate
+from repro.molecules.perturb import perturbed_estimate
+
+
+@dataclass
+class StructureProblem:
+    """A complete workload: true structure, data, and decomposition.
+
+    Attributes
+    ----------
+    name:
+        Workload label ("helix16", "ribo30s", ...).
+    true_coords:
+        ``(p, 3)`` generating coordinates (ground truth for RMSD checks).
+    constraints:
+        All measurements, every category mixed, in generation order.
+    hierarchy:
+        The paper-style structure hierarchy over the atoms.  Constraints
+        are *not* pre-assigned; call :meth:`assign` (or
+        :func:`repro.core.hierarchy.assign_constraints`) before
+        hierarchical solving.
+    prior_sigma:
+        Standard deviation of the initial (diagonal) covariance.
+    perturbation:
+        Standard deviation of the coordinate noise used for the default
+        initial estimate.
+    """
+
+    name: str
+    true_coords: np.ndarray
+    constraints: list[Constraint]
+    hierarchy: Hierarchy
+    prior_sigma: float = 10.0
+    perturbation: float = 1.0
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def n_atoms(self) -> int:
+        return int(self.true_coords.shape[0])
+
+    @property
+    def state_dim(self) -> int:
+        return 3 * self.n_atoms
+
+    @property
+    def n_constraints(self) -> int:
+        return len(self.constraints)
+
+    @property
+    def n_constraint_rows(self) -> int:
+        return sum(c.dimension for c in self.constraints)
+
+    def assign(self) -> None:
+        """Assign constraints to the smallest containing hierarchy nodes."""
+        assign_constraints(self.hierarchy, self.constraints)
+
+    def initial_estimate(self, seed: int | np.random.Generator | None = 0) -> StructureEstimate:
+        """Perturbed starting estimate with the problem's default noise."""
+        return perturbed_estimate(
+            self.true_coords, self.perturbation, self.prior_sigma, seed
+        )

@@ -1,0 +1,324 @@
+"""The prokaryotic 30S ribosomal subunit workload (paper §4.4, Figure 4).
+
+The paper's second problem models the 30S subunit as ~900 pseudo-atoms
+with ~6500 constraints: 21 proteins whose absolute positions come from
+neutron-diffraction mapping, and the 16S rRNA molecule — about 65 double
+helices plus roughly as many interconnecting coils — positioned by
+within-segment geometry, inter-helix distance data, and helix-to-protein
+distance data.
+
+We generate a synthetic complex with that exact composition.  The rRNA
+segments are laid out along seeded random walks inside four spatial
+domains (mirroring the 16S secondary-structure domains); the hierarchy is
+root → domains → clusters of consecutive segments → segment leaves, with
+protein leaves attached to their domain.  Its branching factor is much
+higher than the helix's binary tree, which is why the paper's ribo30S
+speedup curve lacks the non-power-of-2 dips.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.constraints import library
+from repro.constraints.base import Constraint
+from repro.constraints.distance import DistanceConstraint
+from repro.constraints.position import PositionConstraint
+from repro.core.hierarchy import Hierarchy, HierarchyNode
+from repro.molecules.geometry import all_pairs, knn_pairs
+from repro.molecules.problem import StructureProblem
+from repro.util.rng import make_rng
+
+N_PROTEINS = 21
+N_HELICES = 65
+N_COILS = 65
+HELIX_SEGMENT_ATOMS = 7
+N_DOMAINS = 4
+SEGMENTS_PER_CLUSTER = 6
+ATOM_SPACING = 3.0
+
+
+@dataclass
+class _Segment:
+    """One rRNA segment (helix or coil) or one protein pseudo-atom."""
+
+    kind: str  # "helix" | "coil" | "protein"
+    index: int
+    domain: int
+    atoms: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+
+
+def _coil_sizes(total_atoms_target: int) -> list[int]:
+    """Coil atom counts summing so the whole complex hits ~900 atoms."""
+    need = total_atoms_target - N_PROTEINS - N_HELICES * HELIX_SEGMENT_ATOMS
+    base = need // N_COILS
+    extra = need - base * N_COILS
+    return [base + 1 if i < extra else base for i in range(N_COILS)]
+
+
+def build_ribo30s(
+    seed: int = 0,
+    total_atoms: int = 900,
+    within_domain_links: int = 5,
+    cross_domain_pairs: int = 60,
+    cross_domain_links: int = 4,
+    coil_anchor_helices: int = 2,
+    coil_anchor_links: int = 3,
+    protein_helices: int = 8,
+    protein_links: int = 7,
+    prior_sigma: float = 25.0,
+    perturbation: float = 4.0,
+) -> StructureProblem:
+    """Generate the synthetic 30S ribosomal subunit problem.
+
+    The default parameters yield ~900 pseudo-atoms and ~6500 scalar
+    constraints (the paper's published problem size).  All geometry is
+    seeded and deterministic for a given ``seed``.
+    """
+    rng = make_rng(seed)
+    coil_sizes = _coil_sizes(total_atoms)
+
+    # Interleave helices and coils into the linear 16S sequence, then deal
+    # the sequence out to the four domains in contiguous runs.
+    kinds: list[tuple[str, int]] = []
+    hi = ci = 0
+    for s in range(N_HELICES + N_COILS):
+        if s % 2 == 0 and hi < N_HELICES:
+            kinds.append(("helix", HELIX_SEGMENT_ATOMS))
+            hi += 1
+        elif ci < N_COILS:
+            kinds.append(("coil", coil_sizes[ci]))
+            ci += 1
+        else:
+            kinds.append(("helix", HELIX_SEGMENT_ATOMS))
+            hi += 1
+    n_segments = len(kinds)
+    bounds = np.linspace(0, n_segments, N_DOMAINS + 1).astype(int)
+
+    domain_centers = 70.0 * np.array(
+        [[1, 1, 1], [1, -1, -1], [-1, 1, -1], [-1, -1, 1]], dtype=np.float64
+    ) / np.sqrt(3.0)
+
+    coords_parts: list[np.ndarray] = []
+    segments: list[_Segment] = []
+    next_atom = 0
+    for d in range(N_DOMAINS):
+        walk = domain_centers[d].copy()
+        for s in range(bounds[d], bounds[d + 1]):
+            kind, n_atoms = kinds[s]
+            step = rng.normal(0.0, 1.0, 3)
+            step *= 8.0 / np.linalg.norm(step)
+            walk = walk + step
+            # Confine the walk to the domain ball (radius 35 Å).
+            off = walk - domain_centers[d]
+            r = np.linalg.norm(off)
+            if r > 35.0:
+                walk = domain_centers[d] + off * (35.0 / r)
+            if kind == "helix":
+                direction = rng.normal(0.0, 1.0, 3)
+                direction /= np.linalg.norm(direction)
+                offsets = ATOM_SPACING * np.arange(n_atoms)[:, None] * direction[None, :]
+                pts = walk[None, :] + offsets
+            else:
+                steps = rng.normal(0.0, 1.0, (n_atoms, 3))
+                steps *= ATOM_SPACING / np.linalg.norm(steps, axis=1, keepdims=True)
+                steps[0] = 0.0
+                pts = walk[None, :] + np.cumsum(steps, axis=0)
+            ids = np.arange(next_atom, next_atom + n_atoms, dtype=np.int64)
+            next_atom += n_atoms
+            coords_parts.append(pts)
+            segments.append(_Segment(kind, s, d, ids))
+
+    # Proteins: pseudo-atoms scattered inside the domains, dealt round-robin.
+    proteins: list[_Segment] = []
+    for k in range(N_PROTEINS):
+        d = k % N_DOMAINS
+        pos = domain_centers[d] + rng.normal(0.0, 18.0, 3)
+        ids = np.array([next_atom], dtype=np.int64)
+        next_atom += 1
+        coords_parts.append(pos[None, :])
+        proteins.append(_Segment("protein", k, d, ids))
+    coords = np.vstack(coords_parts)
+
+    constraints = _ribo_constraints(
+        coords, segments, proteins, rng,
+        within_domain_links, cross_domain_pairs, cross_domain_links,
+        coil_anchor_helices, coil_anchor_links, protein_helices, protein_links,
+    )
+    hierarchy = _ribo_hierarchy(segments, proteins, coords.shape[0])
+    return StructureProblem(
+        name="ribo30s",
+        true_coords=coords,
+        constraints=constraints,
+        hierarchy=hierarchy,
+        prior_sigma=prior_sigma,
+        perturbation=perturbation,
+        metadata={
+            "n_segments": n_segments,
+            "n_proteins": N_PROTEINS,
+            "category_counts": _last_category_counts.copy(),
+        },
+    )
+
+
+_last_category_counts: dict[str, int] = {}
+
+
+def _dist(coords: np.ndarray, i: int, j: int) -> float:
+    d = coords[i] - coords[j]
+    return float(np.sqrt(d @ d))
+
+
+def _ribo_constraints(
+    coords: np.ndarray,
+    segments: list[_Segment],
+    proteins: list[_Segment],
+    rng: np.random.Generator,
+    within_domain_links: int,
+    cross_domain_pairs: int,
+    cross_domain_links: int,
+    coil_anchor_helices: int,
+    coil_anchor_links: int,
+    protein_helices: int,
+    protein_links: int,
+) -> list[Constraint]:
+    constraints: list[Constraint] = []
+    counts: dict[str, int] = {}
+
+    def add(key: str, items: list[Constraint]) -> None:
+        constraints.extend(items)
+        counts[key] = counts.get(key, 0) + len(items)
+
+    sig_geom = 0.3**2
+    sig_chain = 0.5**2
+    sig_long = library.SIGMA_LONG_RANGE**2
+
+    # Within-segment geometry: helices are rigid (all pairs); coils are
+    # floppier (chain + next-nearest neighbours only).
+    for seg in segments:
+        if seg.kind == "helix":
+            prs = all_pairs(seg.atoms)
+        else:
+            ids = seg.atoms
+            prs = [(int(ids[i]), int(ids[i + 1])) for i in range(len(ids) - 1)]
+            prs += [(int(ids[i]), int(ids[i + 2])) for i in range(len(ids) - 2)]
+        add("within_segment", [
+            DistanceConstraint(i, j, _dist(coords, i, j), sig_geom) for i, j in prs
+        ])
+
+    # Covalent links between consecutive segments of the 16S sequence.
+    chain = []
+    for a, b in zip(segments, segments[1:]):
+        i, j = int(a.atoms[-1]), int(b.atoms[0])
+        chain.append(DistanceConstraint(i, j, _dist(coords, i, j), sig_chain))
+    add("chain", chain)
+
+    helices = [s for s in segments if s.kind == "helix"]
+    coils = [s for s in segments if s.kind == "coil"]
+
+    # Experimental inter-helix distances within each domain: all helix
+    # pairs, a few atom links each.
+    within = []
+    for d in range(N_DOMAINS):
+        dom_h = [h for h in helices if h.domain == d]
+        for a in range(len(dom_h)):
+            for b in range(a + 1, len(dom_h)):
+                for i, j in knn_pairs(
+                    coords, dom_h[a].atoms, dom_h[b].atoms, 1
+                )[:within_domain_links]:
+                    within.append(DistanceConstraint(i, j, _dist(coords, i, j), sig_long))
+    add("helix_helix_domain", within)
+
+    # A handful of cross-domain helix distances (root-level work).
+    cross = []
+    pair_pool = [
+        (a, b)
+        for a in range(len(helices))
+        for b in range(a + 1, len(helices))
+        if helices[a].domain != helices[b].domain
+    ]
+    chosen = rng.choice(len(pair_pool), size=min(cross_domain_pairs, len(pair_pool)), replace=False)
+    for idx in np.sort(chosen):
+        ha, hb = pair_pool[int(idx)]
+        for i, j in knn_pairs(coords, helices[ha].atoms, helices[hb].atoms, 2)[:cross_domain_links]:
+            cross.append(DistanceConstraint(i, j, _dist(coords, i, j), sig_long))
+    add("helix_helix_cross", cross)
+
+    # Coils are positioned relative to their nearest helices.
+    coil_anchors = []
+    helix_centers = np.array([coords[h.atoms].mean(axis=0) for h in helices])
+    for coil in coils:
+        center = coords[coil.atoms].mean(axis=0)
+        near = np.argsort(np.linalg.norm(helix_centers - center, axis=1), kind="stable")
+        for hidx in near[:coil_anchor_helices]:
+            for i, j in knn_pairs(coords, coil.atoms, helices[int(hidx)].atoms, 1)[:coil_anchor_links]:
+                coil_anchors.append(DistanceConstraint(i, j, _dist(coords, i, j), sig_long))
+    add("coil_helix", coil_anchors)
+
+    # Helix-to-protein distance data.
+    hp = []
+    for prot in proteins:
+        ppos = coords[prot.atoms[0]]
+        near = np.argsort(np.linalg.norm(helix_centers - ppos, axis=1), kind="stable")
+        for hidx in near[:protein_helices]:
+            h = helices[int(hidx)]
+            for j in h.atoms[:protein_links]:
+                hp.append(
+                    DistanceConstraint(int(prot.atoms[0]), int(j), _dist(coords, int(prot.atoms[0]), int(j)), sig_long)
+                )
+    add("helix_protein", hp)
+
+    # Neutron-diffraction protein positions (absolute anchors).
+    anchors = [
+        PositionConstraint(int(p.atoms[0]), coords[p.atoms[0]], library.SIGMA_NEUTRON_MAP**2)
+        for p in proteins
+    ]
+    add("protein_anchor", anchors)
+
+    _last_category_counts.clear()
+    _last_category_counts.update(counts)
+    return constraints
+
+
+def _ribo_hierarchy(
+    segments: list[_Segment], proteins: list[_Segment], n_atoms: int
+) -> Hierarchy:
+    """root → domains → clusters of consecutive segments (+ protein leaves)."""
+    domain_nodes = []
+    for d in range(N_DOMAINS):
+        dom_segs = [s for s in segments if s.domain == d]
+        clusters = []
+        for c0 in range(0, len(dom_segs), SEGMENTS_PER_CLUSTER):
+            chunk = dom_segs[c0 : c0 + SEGMENTS_PER_CLUSTER]
+            leaves = [
+                HierarchyNode(atoms=s.atoms, name=f"dom{d}.{s.kind}{s.index}")
+                for s in chunk
+            ]
+            clusters.append(
+                HierarchyNode(
+                    atoms=np.concatenate([l.atoms for l in leaves]),
+                    children=leaves,
+                    name=f"dom{d}.cluster{c0 // SEGMENTS_PER_CLUSTER}",
+                )
+            )
+        children: list[HierarchyNode] = list(clusters)
+        children += [
+            HierarchyNode(atoms=p.atoms, name=f"dom{d}.protein{p.index}")
+            for p in proteins
+            if p.domain == d
+        ]
+        domain_nodes.append(
+            HierarchyNode(
+                atoms=np.concatenate([c.atoms for c in children]),
+                children=children,
+                name=f"dom{d}",
+            )
+        )
+    root = HierarchyNode(
+        atoms=np.concatenate([d.atoms for d in domain_nodes]),
+        children=domain_nodes,
+        name="ribo30s",
+    )
+    return Hierarchy(root, n_atoms)

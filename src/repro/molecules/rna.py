@@ -1,0 +1,279 @@
+"""The RNA double-helix workload (paper §3.1, Figure 2, Table 1).
+
+An RNA double helix is a series of base pairs twisted into a spiral.
+Each base has a common *backbone* and a distinguishing *sidechain*; the
+four base types carry different sidechain sizes, chosen so the generated
+helices match Table 1's atom counts exactly:
+
+======  ========  =========  =====
+base    backbone  sidechain  total
+======  ========  =========  =====
+A       12        10         22
+U       12        9          21
+G       12        10         22
+C       12        8          20
+======  ========  =========  =====
+
+With the repeating pair pattern ``A-U, U-A, G-C, C-G`` a helix of
+1/2/4/8/16 base pairs has 43/86/170/340/680 atoms — the paper's Table 1
+sizes.
+
+The five constraint categories are §3.1's:
+
+1. distances within a backbone,
+2. distances within a sidechain,
+3. backbone↔sidechain distances within a base,
+4. distances across the two bases of a pair,
+5. distances across adjacent base pairs.
+
+The hierarchy follows Figure 2: recursive halving of the helix down to
+base pairs, a pair splits into two bases, and a base into backbone and
+sidechain leaves.  Categories 1-2 land on leaves, 3 on base nodes, 4 on
+pair nodes, and 5 on the smallest sub-helix containing both pairs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.constraints import library
+from repro.constraints.distance import DistanceConstraint
+from repro.core.hierarchy import Hierarchy, HierarchyNode
+from repro.errors import HierarchyError
+from repro.molecules.geometry import (
+    all_pairs,
+    backbone_positions,
+    helix_frame,
+    knn_pairs,
+    sidechain_positions,
+)
+from repro.molecules.problem import StructureProblem
+
+
+@dataclass(frozen=True)
+class BaseType:
+    """Pseudo-atom composition of one RNA base type."""
+
+    symbol: str
+    backbone_atoms: int
+    sidechain_atoms: int
+
+    @property
+    def total_atoms(self) -> int:
+        return self.backbone_atoms + self.sidechain_atoms
+
+
+BASE_LIBRARY: dict[str, BaseType] = {
+    "A": BaseType("A", 12, 10),
+    "U": BaseType("U", 12, 9),
+    "G": BaseType("G", 12, 10),
+    "C": BaseType("C", 12, 8),
+}
+
+#: Repeating base-pair pattern reproducing Table 1's atom counts.
+PAIR_PATTERN: tuple[tuple[str, str], ...] = (("A", "U"), ("U", "A"), ("G", "C"), ("C", "G"))
+
+#: Default k-nearest-neighbour link counts for categories 4 and 5,
+#: calibrated so constraint volumes track Table 1 (~875 rows per pair).
+CROSS_PAIR_KNN = 6
+STACKING_KNN = 3
+
+
+@dataclass
+class _Base:
+    """Atom-index bookkeeping for one placed base."""
+
+    base_type: BaseType
+    backbone: np.ndarray  # global atom ids
+    sidechain: np.ndarray
+
+    @property
+    def atoms(self) -> np.ndarray:
+        return np.concatenate([self.backbone, self.sidechain])
+
+
+def pair_sequence(n_base_pairs: int) -> list[tuple[str, str]]:
+    """The base-pair type sequence for a helix of ``n_base_pairs``."""
+    return [PAIR_PATTERN[i % len(PAIR_PATTERN)] for i in range(n_base_pairs)]
+
+
+def helix_atom_count(n_base_pairs: int) -> int:
+    """Atom count of the generated helix (matches Table 1)."""
+    return sum(
+        BASE_LIBRARY[a].total_atoms + BASE_LIBRARY[b].total_atoms
+        for a, b in pair_sequence(n_base_pairs)
+    )
+
+
+def build_helix(
+    n_base_pairs: int,
+    sigma_local: float = 0.1,
+    sigma_pairing: float = library.SIGMA_PAIRING,
+    sigma_stacking: float = library.SIGMA_STACKING,
+    cross_pair_knn: int = CROSS_PAIR_KNN,
+    stacking_knn: int = STACKING_KNN,
+    prior_sigma: float = 10.0,
+    perturbation: float = 1.0,
+) -> StructureProblem:
+    """Generate the double-helix problem of §3.1.
+
+    Parameters
+    ----------
+    n_base_pairs:
+        Helix length (Table 1 uses 1, 2, 4, 8, 16).
+    sigma_local:
+        Noise σ (Å) for the intra-base categories 1-3 (chemistry-grade).
+    sigma_pairing, sigma_stacking:
+        Noise σ for categories 4 and 5.
+    cross_pair_knn, stacking_knn:
+        k-NN link counts controlling the category 4/5 constraint volume.
+    """
+    if n_base_pairs < 1:
+        raise HierarchyError("helix needs at least one base pair")
+
+    coords_parts: list[np.ndarray] = []
+    pairs: list[tuple[_Base, _Base]] = []
+    next_atom = 0
+    for t, (sym1, sym2) in enumerate(pair_sequence(n_base_pairs)):
+        phi, z = helix_frame(t)
+        placed = []
+        for strand, sym in ((1, sym1), (-1, sym2)):
+            bt = BASE_LIBRARY[sym]
+            strand_phi = phi if strand == 1 else phi + np.pi
+            bb = backbone_positions(strand_phi, z, strand, bt.backbone_atoms)
+            sc = sidechain_positions(strand_phi, z, strand, bt.sidechain_atoms)
+            bb_ids = np.arange(next_atom, next_atom + bt.backbone_atoms, dtype=np.int64)
+            next_atom += bt.backbone_atoms
+            sc_ids = np.arange(next_atom, next_atom + bt.sidechain_atoms, dtype=np.int64)
+            next_atom += bt.sidechain_atoms
+            coords_parts.extend([bb, sc])
+            placed.append(_Base(bt, bb_ids, sc_ids))
+        pairs.append((placed[0], placed[1]))
+    coords = np.vstack(coords_parts)
+
+    constraints = _helix_constraints(
+        coords, pairs, sigma_local, sigma_pairing, sigma_stacking,
+        cross_pair_knn, stacking_knn,
+    )
+    hierarchy = _helix_hierarchy(pairs, coords.shape[0])
+    return StructureProblem(
+        name=f"helix{n_base_pairs}",
+        true_coords=coords,
+        constraints=constraints,
+        hierarchy=hierarchy,
+        prior_sigma=prior_sigma,
+        perturbation=perturbation,
+        metadata={
+            "n_base_pairs": n_base_pairs,
+            "category_counts": _last_category_counts.copy(),
+        },
+    )
+
+
+#: Scratch: per-category row counts of the most recent generation (exposed
+#: through problem.metadata for the Table 1 workload report).
+_last_category_counts: dict[int, int] = {}
+
+
+def _dist_constraints(
+    coords: np.ndarray, atom_pairs: list[tuple[int, int]], sigma: float
+) -> list[DistanceConstraint]:
+    out = []
+    for i, j in atom_pairs:
+        d = coords[i] - coords[j]
+        out.append(DistanceConstraint(i, j, float(np.sqrt(d @ d)), sigma * sigma))
+    return out
+
+
+def _helix_constraints(
+    coords: np.ndarray,
+    pairs: list[tuple[_Base, _Base]],
+    sigma_local: float,
+    sigma_pairing: float,
+    sigma_stacking: float,
+    cross_pair_knn: int,
+    stacking_knn: int,
+) -> list[DistanceConstraint]:
+    constraints: list[DistanceConstraint] = []
+    counts = {1: 0, 2: 0, 3: 0, 4: 0, 5: 0}
+
+    for base1, base2 in pairs:
+        for base in (base1, base2):
+            # Category 1: within the backbone.
+            c1 = _dist_constraints(coords, all_pairs(base.backbone), sigma_local)
+            # Category 2: within the sidechain.
+            c2 = _dist_constraints(coords, all_pairs(base.sidechain), sigma_local)
+            # Category 3: backbone ↔ sidechain of the same base.
+            c3 = _dist_constraints(
+                coords,
+                [(int(i), int(j)) for i in base.backbone for j in base.sidechain],
+                sigma_local,
+            )
+            constraints.extend(c1)
+            constraints.extend(c2)
+            constraints.extend(c3)
+            counts[1] += len(c1)
+            counts[2] += len(c2)
+            counts[3] += len(c3)
+        # Category 4: across the two bases of the pair.
+        c4 = _dist_constraints(
+            coords,
+            knn_pairs(coords, base1.atoms, base2.atoms, cross_pair_knn),
+            sigma_pairing,
+        )
+        constraints.extend(c4)
+        counts[4] += len(c4)
+
+    # Category 5: across adjacent base pairs.
+    for (a1, a2), (b1, b2) in zip(pairs, pairs[1:]):
+        lower = np.concatenate([a1.atoms, a2.atoms])
+        upper = np.concatenate([b1.atoms, b2.atoms])
+        c5 = _dist_constraints(
+            coords, knn_pairs(coords, lower, upper, stacking_knn), sigma_stacking
+        )
+        constraints.extend(c5)
+        counts[5] += len(c5)
+
+    _last_category_counts.clear()
+    _last_category_counts.update(counts)
+    return constraints
+
+
+def _helix_hierarchy(pairs: list[tuple[_Base, _Base]], n_atoms: int) -> Hierarchy:
+    """Figure 2's decomposition: sub-helices → pairs → bases → bb/sc leaves."""
+    pair_nodes: list[HierarchyNode] = []
+    for t, (base1, base2) in enumerate(pairs):
+        base_nodes = []
+        for s, base in enumerate((base1, base2)):
+            bb = HierarchyNode(atoms=base.backbone, name=f"pair{t}.base{s}.backbone")
+            sc = HierarchyNode(atoms=base.sidechain, name=f"pair{t}.base{s}.sidechain")
+            base_nodes.append(
+                HierarchyNode(
+                    atoms=base.atoms, children=[bb, sc], name=f"pair{t}.base{s}"
+                )
+            )
+        pair_nodes.append(
+            HierarchyNode(
+                atoms=np.concatenate([base1.atoms, base2.atoms]),
+                children=base_nodes,
+                name=f"pair{t}",
+            )
+        )
+    root = _halve(pair_nodes, "helix")
+    return Hierarchy(root, n_atoms)
+
+
+def _halve(nodes: list[HierarchyNode], name: str) -> HierarchyNode:
+    """Recursively bisect a run of sub-structures into a binary tree."""
+    if len(nodes) == 1:
+        return nodes[0]
+    half = len(nodes) // 2
+    left = _halve(nodes[:half], name + ".0")
+    right = _halve(nodes[half:], name + ".1")
+    return HierarchyNode(
+        atoms=np.concatenate([left.atoms, right.atoms]),
+        children=[left, right],
+        name=name,
+    )

@@ -1,0 +1,44 @@
+"""Rigid-body superposition (Kabsch) and gauge-invariant RMSD.
+
+Distance-only data determines a structure up to a global rotation,
+translation and reflection (the gauge); two correct estimates of the same
+molecule can therefore differ by a rigid motion.  Comparisons against the
+generating coordinates must superpose first, which is what every
+structural-biology RMSD does in practice.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DimensionError
+
+
+def kabsch_rotation(moving: np.ndarray, fixed: np.ndarray) -> np.ndarray:
+    """Optimal rotation (possibly improper) aligning ``moving`` onto ``fixed``.
+
+    Both arrays are ``(p, 3)`` and assumed already centred.  Reflections are
+    allowed because mirror images are indistinguishable to distance data.
+    """
+    h = moving.T @ fixed
+    u, _s, vt = np.linalg.svd(h)
+    return u @ vt
+
+
+def superpose(moving: np.ndarray, fixed: np.ndarray) -> np.ndarray:
+    """Return ``moving`` rigidly superposed onto ``fixed`` (allowing mirror)."""
+    moving = np.asarray(moving, dtype=np.float64)
+    fixed = np.asarray(fixed, dtype=np.float64)
+    if moving.shape != fixed.shape or moving.ndim != 2 or moving.shape[1] != 3:
+        raise DimensionError("superpose expects two equal (p, 3) arrays")
+    mc = moving.mean(axis=0)
+    fc = fixed.mean(axis=0)
+    rot = kabsch_rotation(moving - mc, fixed - fc)
+    return (moving - mc) @ rot + fc
+
+
+def superposed_rmsd(a: np.ndarray, b: np.ndarray) -> float:
+    """RMSD between ``a`` and ``b`` after optimal rigid superposition."""
+    aligned = superpose(a, b)
+    diff = aligned - np.asarray(b, dtype=np.float64)
+    return float(np.sqrt((diff * diff).sum() / a.shape[0]))

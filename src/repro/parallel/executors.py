@@ -1,0 +1,82 @@
+"""Executor abstraction: serial, thread-pool and process-pool backends.
+
+The scheduler only needs "run these independent thunks, give me their
+results" — expressed as :meth:`Executor.map_unordered` over picklable
+task descriptions for the process backend, or plain closures for the
+serial/thread backends.
+"""
+
+from __future__ import annotations
+
+import abc
+import concurrent.futures
+from typing import Callable, Iterable, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+class Executor(abc.ABC):
+    """Minimal executor interface used by the tree scheduler."""
+
+    @abc.abstractmethod
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        """Apply ``fn`` to every item, possibly concurrently; order preserved."""
+
+    def close(self) -> None:
+        """Release executor resources (no-op by default)."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class SerialExecutor(Executor):
+    """Executes tasks inline; the reference behaviour all backends must match."""
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        return [fn(item) for item in items]
+
+
+class ThreadExecutor(Executor):
+    """Thread-pool backend.
+
+    NumPy's BLAS kernels drop the GIL, so the solver's dominant ``m-m`` /
+    ``sys`` work genuinely overlaps across subtrees on a multi-core host;
+    pure-Python bookkeeping serializes on the GIL (the repro-band caveat).
+    """
+
+    def __init__(self, n_workers: int):
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.n_workers = n_workers
+        self._pool = concurrent.futures.ThreadPoolExecutor(max_workers=n_workers)
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        return list(self._pool.map(fn, items))
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+class ProcessExecutor(Executor):
+    """Process-pool backend: true parallelism, pickled task boundaries.
+
+    ``fn`` and the items must be picklable (the scheduler ships module-level
+    functions plus plain data).  Worker start-up is expensive; this backend
+    pays off only for long subtree solves.
+    """
+
+    def __init__(self, n_workers: int):
+        if n_workers < 1:
+            raise ValueError("n_workers must be >= 1")
+        self.n_workers = n_workers
+        self._pool = concurrent.futures.ProcessPoolExecutor(max_workers=n_workers)
+
+    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
+        return list(self._pool.map(fn, items))
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)

@@ -1,0 +1,24 @@
+"""Small shared utilities: validation, timing, deterministic RNG."""
+
+from repro.util.validation import (
+    as_matrix,
+    as_vector,
+    check_square,
+    check_symmetric,
+    require,
+    symmetrize,
+)
+from repro.util.timer import Timer, WallClock
+from repro.util.rng import make_rng
+
+__all__ = [
+    "Timer",
+    "WallClock",
+    "as_matrix",
+    "as_vector",
+    "check_square",
+    "check_symmetric",
+    "make_rng",
+    "require",
+    "symmetrize",
+]

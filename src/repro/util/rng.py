@@ -1,0 +1,25 @@
+"""Deterministic random-number-generator plumbing.
+
+Every stochastic component of the library (noise injection, perturbed
+initial estimates, synthetic molecule generation) accepts either a seed or
+a ``numpy.random.Generator``.  :func:`make_rng` normalizes both to a
+Generator so results are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def make_rng(seed: int | np.random.Generator | None = None) -> np.random.Generator:
+    """Return a ``numpy.random.Generator`` for ``seed``.
+
+    Passing an existing Generator returns it unchanged (shared stream);
+    passing ``None`` yields a fixed default seed so that library behaviour
+    is deterministic unless the caller opts into entropy.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None:
+        seed = 0
+    return np.random.default_rng(seed)

@@ -1,0 +1,49 @@
+"""Wall-clock timing helpers for the experiment harness.
+
+The paper reports "work time": total execution time minus initialization,
+input and output.  :class:`Timer` supports that style of measurement by
+accumulating only explicitly bracketed regions.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+
+class WallClock:
+    """Monotonic wall-clock source; swappable for deterministic tests."""
+
+    def now(self) -> float:
+        return time.perf_counter()
+
+
+@dataclass
+class Timer:
+    """Accumulating region timer.
+
+    Use as a context manager around the regions to be counted; ``elapsed``
+    is the sum of all bracketed regions.  Nested use raises ``RuntimeError``
+    since nesting would double-count.
+    """
+
+    clock: WallClock = field(default_factory=WallClock)
+    elapsed: float = 0.0
+    _start: float | None = field(default=None, repr=False)
+
+    def __enter__(self) -> "Timer":
+        if self._start is not None:
+            raise RuntimeError("Timer regions must not be nested")
+        self._start = self.clock.now()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        assert self._start is not None
+        self.elapsed += self.clock.now() - self._start
+        self._start = None
+
+    def reset(self) -> None:
+        """Zero the accumulated time; must not be called inside a region."""
+        if self._start is not None:
+            raise RuntimeError("cannot reset a running Timer")
+        self.elapsed = 0.0

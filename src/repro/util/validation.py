@@ -1,0 +1,71 @@
+"""Array validation helpers used across the library.
+
+These helpers centralize shape checking so numerical routines can assume
+well-formed float64 arrays and fail with uniform, descriptive errors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DimensionError
+
+
+def require(condition: bool, message: str, exc: type[Exception] = DimensionError) -> None:
+    """Raise ``exc(message)`` unless ``condition`` holds."""
+    if not condition:
+        raise exc(message)
+
+
+def as_vector(x, name: str = "x", size: int | None = None) -> np.ndarray:
+    """Coerce ``x`` to a contiguous 1-D float64 array, checking its length."""
+    arr = np.ascontiguousarray(x, dtype=np.float64)
+    if arr.ndim != 1:
+        raise DimensionError(f"{name} must be 1-D, got shape {arr.shape}")
+    if size is not None and arr.shape[0] != size:
+        raise DimensionError(f"{name} must have length {size}, got {arr.shape[0]}")
+    return arr
+
+
+def as_matrix(a, name: str = "a", shape: tuple[int | None, int | None] | None = None) -> np.ndarray:
+    """Coerce ``a`` to a contiguous 2-D float64 array, checking its shape.
+
+    ``shape`` entries may be ``None`` to leave that dimension unchecked.
+    """
+    arr = np.ascontiguousarray(a, dtype=np.float64)
+    if arr.ndim != 2:
+        raise DimensionError(f"{name} must be 2-D, got shape {arr.shape}")
+    if shape is not None:
+        rows, cols = shape
+        if rows is not None and arr.shape[0] != rows:
+            raise DimensionError(f"{name} must have {rows} rows, got {arr.shape[0]}")
+        if cols is not None and arr.shape[1] != cols:
+            raise DimensionError(f"{name} must have {cols} columns, got {arr.shape[1]}")
+    return arr
+
+
+def check_square(a: np.ndarray, name: str = "a") -> np.ndarray:
+    """Validate that ``a`` is a square 2-D array and return it."""
+    a = as_matrix(a, name)
+    if a.shape[0] != a.shape[1]:
+        raise DimensionError(f"{name} must be square, got shape {a.shape}")
+    return a
+
+
+def check_symmetric(a: np.ndarray, name: str = "a", tol: float = 1e-8) -> np.ndarray:
+    """Validate that ``a`` is symmetric to within ``tol`` (relative) and return it."""
+    a = check_square(a, name)
+    scale = max(1.0, float(np.max(np.abs(a))) if a.size else 1.0)
+    if a.size and float(np.max(np.abs(a - a.T))) > tol * scale:
+        raise DimensionError(f"{name} must be symmetric (tol={tol})")
+    return a
+
+
+def symmetrize(a: np.ndarray) -> np.ndarray:
+    """Return the symmetric part ``(a + a.T) / 2`` of a square matrix.
+
+    Covariance updates accumulate tiny asymmetries from floating-point
+    round-off; re-symmetrizing after each update keeps downstream Cholesky
+    factorizations stable.
+    """
+    return (a + a.T) * 0.5

@@ -1,0 +1,81 @@
+"""Shared fixtures: small deterministic problems and estimates."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.constraints import DistanceConstraint, LinearConstraint, PositionConstraint
+from repro.core.hierarchy import Hierarchy, HierarchyNode
+from repro.core.state import StructureEstimate
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def square_coords() -> np.ndarray:
+    """Four atoms on a unit square in the z=0 plane."""
+    return np.array([[0.0, 0, 0], [1, 0, 0], [1, 1, 0], [0, 1, 0]])
+
+
+@pytest.fixture
+def square_constraints(square_coords) -> list:
+    """Anchors + edge and diagonal distances pinning the square."""
+    c = square_coords
+    d = float(np.sqrt(2))
+    return [
+        PositionConstraint(0, c[0], 0.01),
+        PositionConstraint(1, c[1], 0.01),
+        DistanceConstraint(1, 2, 1.0, 0.01),
+        DistanceConstraint(2, 3, 1.0, 0.01),
+        DistanceConstraint(3, 0, 1.0, 0.01),
+        DistanceConstraint(0, 2, d, 0.01),
+        DistanceConstraint(1, 3, d, 0.01),
+    ]
+
+
+@pytest.fixture
+def square_estimate(square_coords, rng) -> StructureEstimate:
+    noisy = square_coords + rng.normal(0, 0.2, square_coords.shape)
+    return StructureEstimate.from_coords(noisy, sigma=1.0)
+
+
+@pytest.fixture
+def two_group_problem(rng):
+    """8 atoms in two groups with linear constraints; exact flat==hier case."""
+    p = 8
+    coords = rng.normal(0, 2, (p, 3))
+    constraints = []
+    for grp in [(0, 1), (1, 2), (2, 3), (4, 5), (5, 6), (6, 7)]:
+        a = rng.normal(0, 1, (1, 6))
+        constraints.append(
+            LinearConstraint(grp, a, a @ coords[list(grp)].ravel(), np.array([0.05]))
+        )
+    constraints.append(PositionConstraint(0, coords[0], 0.02))
+    constraints.append(PositionConstraint(4, coords[4], 0.02))
+    cross = (1, 6)
+    a = rng.normal(0, 1, (2, 6))
+    constraints.append(
+        LinearConstraint(cross, a, a @ coords[list(cross)].ravel(), np.array([0.1, 0.1]))
+    )
+    left = HierarchyNode(atoms=np.arange(0, 4))
+    right = HierarchyNode(atoms=np.arange(4, 8))
+    root = HierarchyNode(atoms=np.arange(8), children=[left, right])
+    hierarchy = Hierarchy(root, p)
+    estimate = StructureEstimate.from_coords(
+        coords + rng.normal(0, 0.5, (p, 3)), sigma=1.0
+    )
+    return coords, constraints, hierarchy, estimate
+
+
+@pytest.fixture
+def helix2_problem():
+    """A 2-base-pair helix problem (86 atoms), cached per test session."""
+    from repro.molecules.rna import build_helix
+
+    problem = build_helix(2)
+    problem.assign()
+    return problem

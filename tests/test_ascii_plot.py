@@ -1,0 +1,65 @@
+"""Tests for the terminal plotting helper."""
+
+import pytest
+
+from repro.experiments.ascii_plot import PlotError, line_plot, speedup_plot
+
+
+class TestLinePlot:
+    def test_basic_render(self):
+        text = line_plot([1, 2, 3, 4], {"a": [1, 2, 3, 4]}, title="T")
+        assert text.startswith("T\n")
+        assert "o=a" in text
+        assert "o" in text
+
+    def test_multiple_series_glyphs(self):
+        text = line_plot([1, 2, 3], {"a": [1, 2, 3], "b": [3, 2, 1]})
+        assert "o=a" in text and "x=b" in text
+        assert "x" in text
+
+    def test_log_axes(self):
+        text = line_plot(
+            [1, 10, 100], {"a": [1, 100, 10000]}, logx=True, logy=True,
+            xlabel="n", ylabel="t",
+        )
+        assert "(log)" in text
+
+    def test_log_rejects_nonpositive(self):
+        with pytest.raises(PlotError, match="positive"):
+            line_plot([0, 1], {"a": [1, 2]}, logx=True)
+
+    def test_length_mismatch(self):
+        with pytest.raises(PlotError, match="length"):
+            line_plot([1, 2, 3], {"a": [1, 2]})
+
+    def test_too_small(self):
+        with pytest.raises(PlotError, match="legible"):
+            line_plot([1, 2], {"a": [1, 2]}, width=5)
+
+    def test_needs_two_points(self):
+        with pytest.raises(PlotError, match="two points"):
+            line_plot([1], {"a": [1]})
+
+    def test_needs_series(self):
+        with pytest.raises(PlotError, match="at least one series"):
+            line_plot([1, 2], {})
+
+    def test_constant_series_ok(self):
+        text = line_plot([1, 2, 3], {"flat": [5.0, 5.0, 5.0]})
+        assert "o" in text
+
+    def test_monotone_series_direction(self):
+        """An increasing series' glyph must appear higher (earlier row) at
+        the right edge than at the left edge."""
+        text = line_plot([1, 2, 3, 4], {"up": [1, 2, 3, 4]}, width=20, height=10)
+        rows = [l for l in text.splitlines() if "|" in l]
+        first_rows = [i for i, r in enumerate(rows) if "o" in r.split("|")[1][:4]]
+        last_rows = [i for i, r in enumerate(rows) if "o" in r.split("|")[1][-4:]]
+        assert min(last_rows) < min(first_rows)
+
+
+class TestSpeedupPlot:
+    def test_includes_ideal(self):
+        text = speedup_plot([1, 2, 4], {"ours": [1.0, 1.9, 3.7]})
+        assert "o=ideal" in text and "x=ours" in text
+        assert "processors" in text

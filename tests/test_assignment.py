@@ -1,0 +1,151 @@
+"""Tests for the static processor-assignment heuristic (§4.3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.assignment import (
+    ProcessorAssignment,
+    assign_processors,
+    estimate_node_work,
+)
+from repro.core.hierarchy import Hierarchy, HierarchyNode, assign_constraints
+from repro.core.workmodel import analytic_work_model
+from repro.constraints import DistanceConstraint
+from repro.errors import AssignmentError
+
+
+def binary_tree(depth, atoms_per_leaf=2):
+    """Perfect binary tree over 2^depth leaves."""
+    counter = [0]
+
+    def build(d):
+        if d == 0:
+            lo = counter[0]
+            counter[0] += atoms_per_leaf
+            return HierarchyNode(atoms=np.arange(lo, counter[0]))
+        left = build(d - 1)
+        right = build(d - 1)
+        return HierarchyNode(
+            atoms=np.concatenate([left.atoms, right.atoms]), children=[left, right]
+        )
+
+    root = build(depth)
+    return Hierarchy(root, counter[0])
+
+
+def with_leaf_constraints(h):
+    cons = []
+    for leaf in h.leaves():
+        a = leaf.atoms
+        for i in range(len(a) - 1):
+            cons.append(DistanceConstraint(int(a[i]), int(a[i + 1]), 1.0, 0.1))
+    assign_constraints(h, cons)
+    return h
+
+
+class TestEstimateNodeWork:
+    def test_subtree_accumulates(self):
+        h = with_leaf_constraints(binary_tree(2))
+        model = analytic_work_model()
+        node_work, subtree = estimate_node_work(h, model)
+        root = h.root
+        assert subtree[root.nid] == pytest.approx(
+            node_work[root.nid] + sum(subtree[c.nid] for c in root.children)
+        )
+
+    def test_leaf_subtree_equals_own(self):
+        h = with_leaf_constraints(binary_tree(1))
+        node_work, subtree = estimate_node_work(h, analytic_work_model())
+        for leaf in h.leaves():
+            assert subtree[leaf.nid] == node_work[leaf.nid]
+
+
+class TestAssignProcessors:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 5, 7, 8])
+    def test_assignment_valid(self, p):
+        h = with_leaf_constraints(binary_tree(3))
+        asg = assign_processors(h, p, analytic_work_model())
+        asg.validate(h)  # raises on violation
+        assert asg.procs[h.root.nid] == p
+        assert asg.ranges[h.root.nid] == (0, p)
+
+    def test_power_of_two_balanced(self):
+        h = with_leaf_constraints(binary_tree(3))
+        asg = assign_processors(h, 8, analytic_work_model())
+        for leaf in h.leaves():
+            assert asg.procs[leaf.nid] == 1
+        ranges = sorted(asg.ranges[l.nid] for l in h.leaves())
+        assert ranges == [(i, i + 1) for i in range(8)]
+
+    def test_sibling_ranges_disjoint_when_split(self):
+        h = with_leaf_constraints(binary_tree(2))
+        asg = assign_processors(h, 4, analytic_work_model())
+        left, right = h.root.children
+        lr, rr = asg.ranges[left.nid], asg.ranges[right.nid]
+        assert lr[1] <= rr[0] or rr[1] <= lr[0]
+
+    def test_single_processor_everywhere(self):
+        h = with_leaf_constraints(binary_tree(2))
+        asg = assign_processors(h, 1, analytic_work_model())
+        assert all(v == 1 for v in asg.procs.values())
+        assert all(r == (0, 1) for r in asg.ranges.values())
+
+    def test_odd_processors_split_unevenly(self):
+        h = with_leaf_constraints(binary_tree(1))
+        asg = assign_processors(h, 3, analytic_work_model())
+        counts = sorted(asg.procs[c.nid] for c in h.root.children)
+        assert counts == [1, 2]
+
+    def test_uneven_work_attracts_processors(self):
+        """A subtree with much more work must get more processors."""
+        light = HierarchyNode(atoms=np.arange(0, 2))
+        heavy = HierarchyNode(atoms=np.arange(2, 22))
+        root = HierarchyNode(atoms=np.arange(22), children=[light, heavy])
+        h = Hierarchy(root, 22)
+        cons = [DistanceConstraint(0, 1, 1.0, 0.1)]
+        cons += [
+            DistanceConstraint(i, j, 1.0, 0.1)
+            for i in range(2, 22)
+            for j in range(i + 1, 22)
+        ]
+        assign_constraints(h, cons)
+        asg = assign_processors(h, 8, analytic_work_model())
+        assert asg.procs[heavy.nid] > asg.procs[light.nid]
+
+    def test_invalid_processor_count(self):
+        h = with_leaf_constraints(binary_tree(1))
+        with pytest.raises(AssignmentError):
+            assign_processors(h, 0, analytic_work_model())
+
+    @given(p=st.integers(1, 16), depth=st.integers(1, 4))
+    @settings(max_examples=25, deadline=None)
+    def test_property_nesting_and_counts(self, p, depth):
+        """Every node has >= 1 processor; child ranges nest in parents;
+        sibling groups that split cover the parent range exactly."""
+        h = with_leaf_constraints(binary_tree(depth))
+        asg = assign_processors(h, p, analytic_work_model())
+        asg.validate(h)
+        for node in h.nodes:
+            if node.children and asg.procs[node.nid] > 1:
+                child_ranges = sorted(asg.ranges[c.nid] for c in node.children)
+                merged_lo = child_ranges[0][0]
+                merged_hi = max(hi for _, hi in child_ranges)
+                plo, phi = asg.ranges[node.nid]
+                assert merged_lo >= plo and merged_hi <= phi
+
+
+class TestValidation:
+    def test_missing_node_detected(self):
+        h = with_leaf_constraints(binary_tree(1))
+        asg = ProcessorAssignment(n_processors=2)
+        with pytest.raises(AssignmentError, match="no processor"):
+            asg.validate(h)
+
+    def test_range_count_mismatch_detected(self):
+        h = with_leaf_constraints(binary_tree(1))
+        asg = assign_processors(h, 2, analytic_work_model())
+        asg.ranges[h.root.nid] = (0, 1)
+        with pytest.raises(AssignmentError):
+            asg.validate(h)

@@ -1,0 +1,145 @@
+"""Tests for the §6 related-work baselines (distance geometry, energy min)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.distance_geometry import (
+    bounds_from_constraints,
+    embed_distances,
+    triangle_smooth,
+)
+from repro.baselines.energy_minimization import energy_and_gradient, minimize_energy
+from repro.constraints import DistanceBoundConstraint, DistanceConstraint, PositionConstraint
+from repro.errors import DimensionError
+from repro.molecules.rna import build_helix
+from repro.molecules.superpose import superposed_rmsd
+
+
+@pytest.fixture(scope="module")
+def helix1():
+    p = build_helix(1)
+    p.assign()
+    return p
+
+
+class TestBounds:
+    def test_exact_distance_becomes_band(self):
+        cons = [DistanceConstraint(0, 1, 2.0, 0.01)]  # sigma 0.1
+        lo, hi = bounds_from_constraints(4, cons)
+        assert lo[0, 1] == pytest.approx(1.8)
+        assert hi[0, 1] == pytest.approx(2.2)
+        assert lo[1, 0] == lo[0, 1]
+
+    def test_bound_constraint_maps_directly(self):
+        cons = [DistanceBoundConstraint(0, 1, 1.5, 4.0, 0.1)]
+        lo, hi = bounds_from_constraints(4, cons)
+        assert lo[0, 1] == 1.5
+        assert hi[0, 1] == 4.0
+
+    def test_unconstrained_pairs_get_defaults(self):
+        lo, hi = bounds_from_constraints(3, [DistanceConstraint(0, 1, 2.0, 0.01)])
+        assert lo[0, 2] == 1.0
+        assert hi[0, 2] > 4.0
+
+    def test_diagonal_zero(self):
+        lo, hi = bounds_from_constraints(3, [])
+        assert np.all(np.diag(lo) == 0) and np.all(np.diag(hi) == 0)
+
+    def test_non_distance_constraints_ignored(self):
+        cons = [PositionConstraint(0, np.zeros(3), 1.0)]
+        lo, hi = bounds_from_constraints(3, cons)
+        assert hi[0, 1] == hi[0, 2]
+
+
+class TestTriangleSmoothing:
+    def test_upper_bounds_shrink_via_paths(self):
+        lo = np.zeros((3, 3))
+        hi = np.full((3, 3), 100.0)
+        np.fill_diagonal(hi, 0.0)
+        hi[0, 1] = hi[1, 0] = 1.0
+        hi[1, 2] = hi[2, 1] = 1.0
+        lo2, hi2 = triangle_smooth(lo, hi)
+        assert hi2[0, 2] <= 2.0
+
+    def test_lower_bounds_rise(self):
+        lo = np.zeros((3, 3))
+        hi = np.full((3, 3), 100.0)
+        np.fill_diagonal(hi, 0.0)
+        lo[0, 1] = lo[1, 0] = 10.0
+        hi[0, 1] = hi[1, 0] = 10.0
+        hi[1, 2] = hi[2, 1] = 2.0
+        lo2, hi2 = triangle_smooth(lo, hi)
+        # d(0,2) >= d(0,1) - d(1,2) >= 8
+        assert lo2[0, 2] >= 8.0 - 1e-9
+
+    def test_intervals_stay_valid(self, helix1):
+        lo, hi = bounds_from_constraints(helix1.n_atoms, helix1.constraints)
+        lo2, hi2 = triangle_smooth(lo, hi)
+        assert np.all(lo2 <= hi2 + 1e-9)
+
+
+class TestEmbedding:
+    def test_recovers_helix_shape_approximately(self, helix1):
+        result = embed_distances(helix1.n_atoms, helix1.constraints, seed=0)
+        rmsd = superposed_rmsd(result.coords, helix1.true_coords)
+        # DG finds the fold family, not a refined structure (its documented
+        # role is generating starting structures).
+        assert rmsd < 4.0
+        assert result.embedding_quality > 0.5
+
+    def test_refinement_improves_bounds(self, helix1):
+        raw = embed_distances(helix1.n_atoms, helix1.constraints, seed=0, refine_iterations=0)
+        ref = embed_distances(helix1.n_atoms, helix1.constraints, seed=0, refine_iterations=50)
+        assert ref.bound_violation <= raw.bound_violation + 1e-9
+        assert ref.refined and not raw.refined
+
+    def test_deterministic_per_seed(self, helix1):
+        a = embed_distances(helix1.n_atoms, helix1.constraints, seed=4)
+        b = embed_distances(helix1.n_atoms, helix1.constraints, seed=4)
+        assert np.array_equal(a.coords, b.coords)
+
+    def test_too_few_atoms(self):
+        with pytest.raises(DimensionError):
+            embed_distances(3, [])
+
+
+class TestEnergyMinimization:
+    def test_gradient_matches_finite_difference(self, rng):
+        coords = rng.normal(0, 2, (4, 3))
+        cons = [
+            DistanceConstraint(0, 1, 2.0, 0.1),
+            DistanceConstraint(1, 2, 1.5, 0.2),
+            PositionConstraint(3, np.zeros(3), 0.5),
+        ]
+        _, grad = energy_and_gradient(coords, cons)
+        eps = 1e-6
+        for a in range(4):
+            for k in range(3):
+                plus = coords.copy()
+                minus = coords.copy()
+                plus[a, k] += eps
+                minus[a, k] -= eps
+                fd = (
+                    energy_and_gradient(plus, cons)[0]
+                    - energy_and_gradient(minus, cons)[0]
+                ) / (2 * eps)
+                assert grad[a, k] == pytest.approx(fd, abs=1e-4)
+
+    def test_minimizes_to_zero_energy(self, helix1):
+        start = helix1.initial_estimate(0).coords.copy()
+        result = minimize_energy(start, helix1.constraints)
+        assert result.energy < 1.0  # started in the thousands
+        assert result.n_iterations > 0
+
+    def test_recovers_shape(self, helix1):
+        start = helix1.initial_estimate(0).coords.copy()
+        before = superposed_rmsd(start, helix1.true_coords)
+        result = minimize_energy(start, helix1.constraints)
+        after = superposed_rmsd(result.coords, helix1.true_coords)
+        assert after < 0.5 * before
+
+    def test_validation(self):
+        with pytest.raises(DimensionError):
+            minimize_energy(np.zeros((2, 2)), [])
+        with pytest.raises(DimensionError):
+            minimize_energy(np.zeros((2, 3)), [])

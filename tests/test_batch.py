@@ -1,0 +1,151 @@
+"""Tests for constraint batching and sparse Jacobian assembly."""
+
+import numpy as np
+import pytest
+
+from repro.constraints import DistanceConstraint, PositionConstraint
+from repro.constraints.batch import ConstraintBatch, assemble_batch, make_batches
+from repro.constraints.noise import DiagonalNoise, sample_measurement_noise
+from repro.errors import ConstraintError
+from repro.linalg.counters import OpCategory, recording
+
+
+@pytest.fixture
+def coords(rng):
+    return rng.normal(0, 3, (5, 3))
+
+
+def distance_list(n):
+    return [DistanceConstraint(i, i + 1, 1.0, 0.1) for i in range(n)]
+
+
+class TestConstraintBatch:
+    def test_dimension_sums_rows(self):
+        batch = ConstraintBatch(
+            (DistanceConstraint(0, 1, 1.0, 0.1), PositionConstraint(2, np.zeros(3), 1.0))
+        )
+        assert batch.dimension == 4
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConstraintError):
+            ConstraintBatch(())
+
+    def test_atoms_sorted_unique(self):
+        batch = ConstraintBatch(
+            (DistanceConstraint(3, 1, 1.0, 0.1), DistanceConstraint(1, 0, 1.0, 0.1))
+        )
+        assert np.array_equal(batch.atoms(), [0, 1, 3])
+
+
+class TestMakeBatches:
+    def test_exact_split(self):
+        batches = make_batches(distance_list(6), 2)
+        assert [b.dimension for b in batches] == [2, 2, 2]
+
+    def test_remainder_batch(self):
+        batches = make_batches(distance_list(5), 2)
+        assert [b.dimension for b in batches] == [2, 2, 1]
+
+    def test_wide_constraint_gets_own_batch(self):
+        cons = [PositionConstraint(0, np.zeros(3), 1.0), DistanceConstraint(0, 1, 1.0, 0.1)]
+        batches = make_batches(cons, 1)
+        assert [b.dimension for b in batches] == [3, 1]
+
+    def test_order_preserved(self):
+        cons = distance_list(5)
+        batches = make_batches(cons, 2)
+        flattened = [c for b in batches for c in b.constraints]
+        assert flattened == cons
+
+    def test_invalid_m(self):
+        with pytest.raises(ConstraintError):
+            make_batches(distance_list(2), 0)
+
+    def test_empty_input(self):
+        assert make_batches([], 4) == []
+
+
+class TestAssembleBatch:
+    def test_global_assembly_shapes(self, coords):
+        batch = ConstraintBatch(tuple(distance_list(3)))
+        z, h, big_h, r = assemble_batch(batch, coords)
+        assert z.shape == h.shape == r.shape == (3,)
+        assert big_h.shape == (3, 15)
+
+    def test_jacobian_matches_dense_stack(self, coords):
+        cons = distance_list(3)
+        batch = ConstraintBatch(tuple(cons))
+        _, _, big_h, _ = assemble_batch(batch, coords)
+        dense = np.zeros((3, 15))
+        for row, c in enumerate(cons):
+            jac = c.jacobian(coords)
+            dense[row, c.state_columns()] = jac[0]
+        assert np.allclose(big_h.to_dense(), dense)
+
+    def test_z_equals_target_for_distances(self, coords):
+        cons = distance_list(2)
+        batch = ConstraintBatch(tuple(cons))
+        z, h, _, _ = assemble_batch(batch, coords)
+        for row, c in enumerate(cons):
+            assert z[row] == pytest.approx(c.target[0])
+            assert h[row] == pytest.approx(c.evaluate(coords)[0])
+
+    def test_variances_stacked(self, coords):
+        batch = ConstraintBatch(
+            (DistanceConstraint(0, 1, 1.0, 0.25), PositionConstraint(2, np.zeros(3), 4.0))
+        )
+        _, _, _, r = assemble_batch(batch, coords)
+        assert np.allclose(r, [0.25, 4.0, 4.0, 4.0])
+
+    def test_local_column_map(self, coords):
+        batch = ConstraintBatch((DistanceConstraint(1, 3, 1.0, 0.1),))
+        cmap = np.full(5, -1, dtype=np.int64)
+        cmap[1], cmap[3] = 0, 1  # local slots
+        _, _, big_h, _ = assemble_batch(batch, coords, cmap, n_columns=6)
+        assert big_h.shape == (1, 6)
+        global_jac = DistanceConstraint(1, 3, 1.0, 0.1).jacobian(coords)
+        assert np.allclose(big_h.to_dense(), global_jac)
+
+    def test_atom_outside_map_rejected(self, coords):
+        batch = ConstraintBatch((DistanceConstraint(0, 4, 1.0, 0.1),))
+        cmap = np.full(5, -1, dtype=np.int64)
+        cmap[0] = 0
+        with pytest.raises(ConstraintError, match="outside"):
+            assemble_batch(batch, coords, cmap, n_columns=3)
+
+    def test_map_requires_n_columns(self, coords):
+        batch = ConstraintBatch((DistanceConstraint(0, 1, 1.0, 0.1),))
+        with pytest.raises(ConstraintError, match="n_columns"):
+            assemble_batch(batch, coords, np.zeros(5, dtype=np.int64))
+
+    def test_assembly_recorded_as_vec(self, coords):
+        batch = ConstraintBatch(tuple(distance_list(2)))
+        with recording() as rec:
+            assemble_batch(batch, coords)
+        assert rec.events[0].category is OpCategory.VECTOR
+
+
+class TestNoise:
+    def test_variance(self):
+        assert DiagonalNoise(0.5).variance == pytest.approx(0.25)
+
+    def test_nonpositive_sigma_rejected(self):
+        with pytest.raises(ConstraintError):
+            DiagonalNoise(0.0)
+
+    def test_perturb_deterministic_with_seed(self):
+        n = DiagonalNoise(1.0)
+        assert n.perturb(5.0, rng=3) == n.perturb(5.0, rng=3)
+
+    def test_sample_shape(self):
+        v = sample_measurement_noise(np.array([1.0, 4.0]), rng=0)
+        assert v.shape == (2,)
+
+    def test_sample_scales_with_variance(self):
+        big = [abs(x) for x in sample_measurement_noise(np.full(500, 100.0), rng=0)]
+        small = [abs(x) for x in sample_measurement_noise(np.full(500, 0.01), rng=0)]
+        assert np.mean(big) > np.mean(small)
+
+    def test_nonpositive_variance_rejected(self):
+        with pytest.raises(ConstraintError):
+            sample_measurement_noise(np.array([0.0]))

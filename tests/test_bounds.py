@@ -1,0 +1,114 @@
+"""Tests for non-Gaussian distance-bound constraints."""
+
+import numpy as np
+import pytest
+
+from repro.constraints import DistanceBoundConstraint, DistanceConstraint
+from repro.constraints.batch import ConstraintBatch
+from repro.core.state import StructureEstimate
+from repro.core.update import apply_batch
+from repro.errors import ConstraintError
+
+
+def coords_at(distance):
+    return np.array([[0.0, 0, 0], [distance, 0, 0]])
+
+
+class TestValidation:
+    def test_needs_some_bound(self):
+        with pytest.raises(ConstraintError, match="at least one"):
+            DistanceBoundConstraint(0, 1, None, None, 0.1)
+
+    def test_distinct_atoms(self):
+        with pytest.raises(ConstraintError):
+            DistanceBoundConstraint(0, 0, 1.0, 2.0, 0.1)
+
+    def test_lower_le_upper(self):
+        with pytest.raises(ConstraintError, match="exceeds"):
+            DistanceBoundConstraint(0, 1, 3.0, 2.0, 0.1)
+
+    def test_positive_lower(self):
+        with pytest.raises(ConstraintError, match="positive"):
+            DistanceBoundConstraint(0, 1, 0.0, 2.0, 0.1)
+
+
+class TestActivation:
+    def test_inactive_inside_bounds(self):
+        c = DistanceBoundConstraint(0, 1, 1.0, 3.0, 0.1)
+        coords = coords_at(2.0)
+        assert c.violated_bound(coords) is None
+        assert c.residual(coords)[0] == 0.0
+        assert np.allclose(c.jacobian(coords), 0.0)
+        assert c.satisfied(coords)
+
+    def test_upper_violation(self):
+        c = DistanceBoundConstraint(0, 1, None, 3.0, 0.1)
+        coords = coords_at(5.0)
+        assert c.violated_bound(coords) == 3.0
+        assert c.residual(coords)[0] == pytest.approx(-2.0)  # pull closer
+        assert not c.satisfied(coords)
+
+    def test_lower_violation(self):
+        c = DistanceBoundConstraint(0, 1, 2.0, None, 0.1)
+        coords = coords_at(1.0)
+        assert c.violated_bound(coords) == 2.0
+        assert c.residual(coords)[0] == pytest.approx(1.0)  # push apart
+
+    def test_jacobian_matches_distance_when_active(self):
+        bound = DistanceBoundConstraint(0, 1, None, 3.0, 0.1)
+        dist = DistanceConstraint(0, 1, 3.0, 0.1)
+        coords = coords_at(5.0)
+        assert np.allclose(bound.jacobian(coords), dist.jacobian(coords))
+
+    def test_satisfied_with_slack(self):
+        c = DistanceBoundConstraint(0, 1, None, 3.0, 0.1)
+        assert c.satisfied(coords_at(3.05), slack=0.1)
+        assert not c.satisfied(coords_at(3.05), slack=0.0)
+
+
+class TestUpdates:
+    def test_inactive_bound_is_noop_on_mean(self):
+        est = StructureEstimate.from_coords(coords_at(2.0), sigma=1.0)
+        c = DistanceBoundConstraint(0, 1, 1.0, 3.0, 0.1)
+        post = apply_batch(est, ConstraintBatch((c,)))
+        assert np.allclose(post.mean, est.mean)
+
+    def test_violated_upper_pulls_in(self):
+        est = StructureEstimate.from_coords(coords_at(5.0), sigma=1.0)
+        c = DistanceBoundConstraint(0, 1, None, 3.0, 0.01)
+        post = apply_batch(est, ConstraintBatch((c,)))
+        new_d = float(np.linalg.norm(post.coords[0] - post.coords[1]))
+        assert new_d < 5.0
+
+    def test_violated_lower_pushes_out(self):
+        est = StructureEstimate.from_coords(coords_at(0.5), sigma=1.0)
+        c = DistanceBoundConstraint(0, 1, 2.0, None, 0.01)
+        post = apply_batch(est, ConstraintBatch((c,)))
+        new_d = float(np.linalg.norm(post.coords[0] - post.coords[1]))
+        assert new_d > 0.5
+
+    def test_iterated_cycles_settle_inside_bounds(self):
+        """Repeated cycles implement the non-Gaussian update of [2]: the
+        equilibrium satisfies all bounds (within noise slack)."""
+        from repro.core.flat import FlatSolver
+        from repro.constraints import PositionConstraint
+
+        rng = np.random.default_rng(0)
+        true = np.array([[0.0, 0, 0], [2.0, 0, 0], [4.0, 0, 0]])
+        cons = [
+            PositionConstraint(0, true[0], 0.01),
+            PositionConstraint(2, true[2], 0.01),
+            DistanceBoundConstraint(0, 1, 1.5, 2.5, 0.01),
+            DistanceBoundConstraint(1, 2, 1.5, 2.5, 0.01),
+        ]
+        bad = true + rng.normal(0, 1.0, true.shape)
+        est = StructureEstimate.from_coords(bad, sigma=2.0)
+        solver = FlatSolver(cons, batch_size=8)
+        report = solver.solve(est, max_cycles=30, tol=1e-8)
+        coords = report.estimate.coords
+        for c in cons[2:]:
+            assert c.satisfied(coords, slack=0.15), (
+                c.lower,
+                c.upper,
+                float(np.linalg.norm(coords[c.i] - coords[c.j])),
+            )

@@ -1,0 +1,130 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro import io as rio
+from repro.cli import build_parser, main
+
+
+@pytest.fixture
+def helix_file(tmp_path):
+    path = tmp_path / "helix2.npz"
+    assert main(["generate", "helix", "--length", "2", "--out", str(path)]) == 0
+    return path
+
+
+class TestGenerate:
+    def test_helix(self, helix_file):
+        problem = rio.load_problem(helix_file)
+        assert problem.n_atoms == 86
+
+    def test_protein(self, tmp_path):
+        out = tmp_path / "prot.npz"
+        assert main(["generate", "protein", "--out", str(out)]) == 0
+        assert rio.load_problem(out).name == "protein"
+
+    def test_prints_summary(self, tmp_path, capsys):
+        out = tmp_path / "h.npz"
+        main(["generate", "helix", "--length", "1", "--out", str(out)])
+        captured = capsys.readouterr().out
+        assert "43 atoms" in captured
+
+
+class TestInfo:
+    def test_reports_structure(self, helix_file, capsys):
+        assert main(["info", str(helix_file)]) == 0
+        out = capsys.readouterr().out
+        assert "atoms:" in out and "86" in out
+        assert "leaf capture" in out
+
+
+class TestSolve:
+    def test_solves_and_writes(self, helix_file, tmp_path, capsys):
+        est_path = tmp_path / "est.npz"
+        code = main(
+            [
+                "solve",
+                str(helix_file),
+                "--cycles",
+                "3",
+                "--out",
+                str(est_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mean |residual|" in out
+        est = rio.load_estimate(est_path)
+        assert est.n_atoms == 86
+
+    def test_alternative_decomposition(self, helix_file, capsys):
+        assert (
+            main(
+                [
+                    "solve",
+                    str(helix_file),
+                    "--decomposition",
+                    "rcb",
+                    "--cycles",
+                    "2",
+                ]
+            )
+            == 0
+        )
+
+    def test_anneal_flag(self, helix_file, capsys):
+        assert (
+            main(["solve", str(helix_file), "--cycles", "2", "--anneal", "10,0.5"])
+            == 0
+        )
+
+    def test_bad_anneal_flag(self, helix_file):
+        with pytest.raises(SystemExit):
+            main(["solve", str(helix_file), "--anneal", "banana"])
+
+
+class TestSimulate:
+    def test_table_output(self, helix_file, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    str(helix_file),
+                    "--machine",
+                    "dash",
+                    "--processors",
+                    "1,2,4",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "simulated DASH" in out
+        assert "spdup" in out
+
+    def test_challenge(self, helix_file, capsys):
+        assert (
+            main(
+                [
+                    "simulate",
+                    str(helix_file),
+                    "--machine",
+                    "challenge",
+                    "--processors",
+                    "1,2",
+                ]
+            )
+            == 0
+        )
+        assert "Challenge" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["generate", "dna", "--out", "x.npz"])

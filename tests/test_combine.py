@@ -1,0 +1,92 @@
+"""Tests for the Figure 3 combination of independent updates."""
+
+import numpy as np
+import pytest
+
+from repro.constraints import LinearConstraint
+from repro.constraints.batch import ConstraintBatch
+from repro.core.combine import combine_estimates, combine_tournament
+from repro.core.state import StructureEstimate
+from repro.core.update import apply_batch
+from repro.errors import DimensionError
+
+
+def linear_cons(rng, n_cons, atoms=(0, 1)):
+    out = []
+    for _ in range(n_cons):
+        a = rng.normal(size=(1, 3 * len(atoms)))
+        out.append(LinearConstraint(atoms, a, rng.normal(size=1), np.array([0.4])))
+    return out
+
+
+@pytest.fixture
+def shared_prior(rng):
+    return StructureEstimate.from_coords(rng.normal(0, 2, (2, 3)), sigma=1.5)
+
+
+class TestCombineEstimates:
+    def test_equals_sequential_application(self, rng, shared_prior):
+        """The core Figure 3 guarantee: combining posteriors from disjoint
+        linear constraint subsets == applying both subsets sequentially."""
+        set1 = linear_cons(rng, 3)
+        set2 = linear_cons(rng, 2)
+        post1 = apply_batch(shared_prior, ConstraintBatch(tuple(set1)))
+        post2 = apply_batch(shared_prior, ConstraintBatch(tuple(set2)))
+        combined = combine_estimates(shared_prior, post1, post2)
+        sequential = apply_batch(post1, ConstraintBatch(tuple(set2)))
+        assert np.allclose(combined.mean, sequential.mean, atol=1e-8)
+        assert np.allclose(combined.covariance, sequential.covariance, atol=1e-8)
+
+    def test_symmetric_in_arguments(self, rng, shared_prior):
+        set1 = linear_cons(rng, 2)
+        set2 = linear_cons(rng, 2)
+        post1 = apply_batch(shared_prior, ConstraintBatch(tuple(set1)))
+        post2 = apply_batch(shared_prior, ConstraintBatch(tuple(set2)))
+        ab = combine_estimates(shared_prior, post1, post2)
+        ba = combine_estimates(shared_prior, post2, post1)
+        assert np.allclose(ab.mean, ba.mean, atol=1e-9)
+        assert np.allclose(ab.covariance, ba.covariance, atol=1e-9)
+
+    def test_combining_with_prior_is_identity(self, rng, shared_prior):
+        """Combining a posterior with an unchanged copy of the prior must
+        return the posterior (the copy added no information)."""
+        post = apply_batch(shared_prior, ConstraintBatch(tuple(linear_cons(rng, 2))))
+        combined = combine_estimates(shared_prior, post, shared_prior.copy())
+        assert np.allclose(combined.mean, post.mean, atol=1e-8)
+        assert np.allclose(combined.covariance, post.covariance, atol=1e-8)
+
+    def test_result_symmetric_psd(self, rng, shared_prior):
+        set1 = linear_cons(rng, 2)
+        set2 = linear_cons(rng, 2)
+        post1 = apply_batch(shared_prior, ConstraintBatch(tuple(set1)))
+        post2 = apply_batch(shared_prior, ConstraintBatch(tuple(set2)))
+        combined = combine_estimates(shared_prior, post1, post2)
+        assert np.allclose(combined.covariance, combined.covariance.T)
+        assert np.all(np.linalg.eigvalsh(combined.covariance) > -1e-10)
+
+    def test_dim_mismatch(self, rng, shared_prior):
+        other = StructureEstimate.from_coords(rng.normal(size=(3, 3)), sigma=1.0)
+        with pytest.raises(DimensionError):
+            combine_estimates(shared_prior, shared_prior, other)
+
+
+class TestTournament:
+    def test_three_way_matches_sequential(self, rng, shared_prior):
+        sets = [linear_cons(rng, 2) for _ in range(3)]
+        posts = [
+            apply_batch(shared_prior, ConstraintBatch(tuple(s))) for s in sets
+        ]
+        combined = combine_tournament(shared_prior, posts)
+        sequential = shared_prior
+        for s in sets:
+            sequential = apply_batch(sequential, ConstraintBatch(tuple(s)))
+        assert np.allclose(combined.mean, sequential.mean, atol=1e-7)
+        assert np.allclose(combined.covariance, sequential.covariance, atol=1e-7)
+
+    def test_single_posterior_passthrough(self, rng, shared_prior):
+        post = apply_batch(shared_prior, ConstraintBatch(tuple(linear_cons(rng, 1))))
+        assert combine_tournament(shared_prior, [post]) is post
+
+    def test_empty_rejected(self, shared_prior):
+        with pytest.raises(DimensionError):
+            combine_tournament(shared_prior, [])

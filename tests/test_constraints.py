@@ -1,0 +1,175 @@
+"""Tests for the constraint classes (evaluation, residuals, validation)."""
+
+import numpy as np
+import pytest
+
+from repro.constraints import (
+    AngleConstraint,
+    DistanceConstraint,
+    LinearConstraint,
+    PositionConstraint,
+    TorsionConstraint,
+)
+from repro.constraints.distance import distance_between
+from repro.constraints.torsion import dihedral
+from repro.errors import ConstraintError
+
+
+@pytest.fixture
+def coords(rng):
+    return rng.normal(0, 3, (6, 3))
+
+
+class TestDistance:
+    def test_evaluate(self, coords):
+        c = DistanceConstraint(0, 1, 2.0, 0.1)
+        expected = np.linalg.norm(coords[0] - coords[1])
+        assert c.evaluate(coords)[0] == pytest.approx(expected)
+
+    def test_distance_between_helper(self, coords):
+        assert distance_between(coords, 2, 4) == pytest.approx(
+            np.linalg.norm(coords[2] - coords[4])
+        )
+
+    def test_residual(self, coords):
+        c = DistanceConstraint(0, 1, 5.0, 0.1)
+        assert c.residual(coords)[0] == pytest.approx(5.0 - c.evaluate(coords)[0])
+
+    def test_dimension_is_one(self):
+        assert DistanceConstraint(0, 1, 1.0, 0.1).dimension == 1
+
+    def test_atoms(self):
+        assert DistanceConstraint(3, 7, 1.0, 0.1).atoms == (3, 7)
+
+    def test_state_columns(self):
+        cols = DistanceConstraint(1, 3, 1.0, 0.1).state_columns()
+        assert np.array_equal(cols, [3, 4, 5, 9, 10, 11])
+
+    def test_same_atom_rejected(self):
+        with pytest.raises(ConstraintError):
+            DistanceConstraint(2, 2, 1.0, 0.1)
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ConstraintError):
+            DistanceConstraint(0, 1, -1.0, 0.1)
+
+    def test_nonpositive_variance_rejected(self):
+        with pytest.raises(ConstraintError):
+            DistanceConstraint(0, 1, 1.0, 0.0)
+
+    def test_negative_atom_rejected(self):
+        with pytest.raises(ConstraintError):
+            DistanceConstraint(-1, 1, 1.0, 0.1)
+
+    def test_coincident_atoms_jacobian_finite(self):
+        coords = np.zeros((2, 3))
+        jac = DistanceConstraint(0, 1, 1.0, 0.1).jacobian(coords)
+        assert np.all(np.isfinite(jac))
+
+
+class TestAngle:
+    def test_right_angle(self):
+        coords = np.array([[1.0, 0, 0], [0, 0, 0], [0, 1, 0]])
+        c = AngleConstraint(0, 1, 2, np.pi / 2, 0.01)
+        assert c.evaluate(coords)[0] == pytest.approx(np.pi / 2)
+
+    def test_straight_angle(self):
+        coords = np.array([[1.0, 0, 0], [0, 0, 0], [-1, 0, 0]])
+        c = AngleConstraint(0, 1, 2, np.pi / 2, 0.01)
+        assert c.evaluate(coords)[0] == pytest.approx(np.pi)
+
+    def test_distinct_atoms_required(self):
+        with pytest.raises(ConstraintError):
+            AngleConstraint(0, 0, 1, 1.0, 0.1)
+
+    def test_angle_range_validated(self):
+        with pytest.raises(ConstraintError):
+            AngleConstraint(0, 1, 2, 0.0, 0.1)
+        with pytest.raises(ConstraintError):
+            AngleConstraint(0, 1, 2, np.pi, 0.1)
+
+    def test_jacobian_shape(self, coords):
+        jac = AngleConstraint(0, 1, 2, 1.0, 0.1).jacobian(coords)
+        assert jac.shape == (1, 9)
+
+    def test_degenerate_geometry_finite(self):
+        coords = np.array([[1.0, 0, 0], [0, 0, 0], [2.0, 0, 0]])  # collinear
+        jac = AngleConstraint(0, 1, 2, 1.0, 0.1).jacobian(coords)
+        assert np.all(np.isfinite(jac))
+
+
+class TestTorsion:
+    def test_planar_zero(self):
+        coords = np.array([[0.0, 1, 0], [0, 0, 0], [1, 0, 0], [1, 1, 0]])
+        assert dihedral(coords, 0, 1, 2, 3) == pytest.approx(0.0, abs=1e-12)
+
+    def test_trans_is_pi(self):
+        coords = np.array([[0.0, 1, 0], [0, 0, 0], [1, 0, 0], [1, -1, 0]])
+        assert abs(dihedral(coords, 0, 1, 2, 3)) == pytest.approx(np.pi)
+
+    def test_sign_convention(self):
+        coords = np.array([[0.0, 1, 0], [0, 0, 0], [1, 0, 0], [1, 0, 1]])
+        up = dihedral(coords, 0, 1, 2, 3)
+        coords[3] = [1, 0, -1]
+        down = dihedral(coords, 0, 1, 2, 3)
+        assert up == pytest.approx(-down)
+
+    def test_wrapped_residual(self):
+        coords = np.array([[0.0, 1, 0], [0, 0, 0], [1, 0, 0], [1, -1, 0.05]])
+        # actual ≈ ±π; target near −π on the other side of the cut
+        c = TorsionConstraint(0, 1, 2, 3, -3.1, 0.1)
+        assert abs(c.residual(coords)[0]) < 0.2
+
+    def test_distinct_atoms_required(self):
+        with pytest.raises(ConstraintError):
+            TorsionConstraint(0, 1, 2, 2, 1.0, 0.1)
+
+    def test_jacobian_shape(self, coords):
+        jac = TorsionConstraint(0, 1, 2, 3, 1.0, 0.1).jacobian(coords)
+        assert jac.shape == (1, 12)
+
+
+class TestPosition:
+    def test_evaluate_returns_position(self, coords):
+        c = PositionConstraint(2, np.zeros(3), 1.0)
+        assert np.allclose(c.evaluate(coords), coords[2])
+
+    def test_dimension_three(self):
+        assert PositionConstraint(0, np.zeros(3), 1.0).dimension == 3
+
+    def test_jacobian_identity(self, coords):
+        assert np.allclose(PositionConstraint(0, np.zeros(3), 1.0).jacobian(coords), np.eye(3))
+
+    def test_bad_position_shape(self):
+        with pytest.raises(ConstraintError):
+            PositionConstraint(0, np.zeros(2), 1.0)
+
+    def test_target_copied(self):
+        pos = np.ones(3)
+        c = PositionConstraint(0, pos, 1.0)
+        pos[0] = 99.0
+        assert c.target[0] == 1.0
+
+
+class TestLinear:
+    def test_evaluate(self, coords):
+        a = np.array([[1.0, 0, 0, -1, 0, 0]])
+        c = LinearConstraint((0, 1), a, np.array([0.0]), np.array([0.1]))
+        assert c.evaluate(coords)[0] == pytest.approx(coords[0, 0] - coords[1, 0])
+
+    def test_jacobian_is_coefficients(self, coords):
+        a = np.ones((2, 6))
+        c = LinearConstraint((0, 1), a, np.zeros(2), np.ones(2))
+        assert c.jacobian(coords) is a
+
+    def test_shape_validation(self):
+        with pytest.raises(ConstraintError):
+            LinearConstraint((0, 1), np.ones((1, 5)), np.zeros(1), np.ones(1))
+
+    def test_duplicate_atoms_rejected(self):
+        with pytest.raises(ConstraintError):
+            LinearConstraint((1, 1), np.ones((1, 6)), np.zeros(1), np.ones(1))
+
+    def test_variance_shape_mismatch(self):
+        with pytest.raises(ConstraintError):
+            LinearConstraint((0, 1), np.ones((2, 6)), np.zeros(2), np.ones(3))

@@ -1,0 +1,101 @@
+"""Tests for the convergence loop and its diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.core.convergence import ConvergenceReport, iterate_to_convergence
+from repro.core.state import StructureEstimate
+from repro.errors import ConvergenceError
+
+
+def make_estimate(value=0.0):
+    return StructureEstimate.from_coords(np.full((1, 3), value), sigma=1.0)
+
+
+class TestIterateToConvergence:
+    def test_contraction_converges(self):
+        """A cycle halving the mean's distance to 1 must converge to 1."""
+
+        def cycle(est):
+            new = est.copy()
+            new.mean[:] = 1.0 + 0.5 * (est.mean - 1.0)
+            return new
+
+        report = iterate_to_convergence(cycle, make_estimate(0.0), max_cycles=60, tol=1e-8)
+        assert report.converged
+        assert np.allclose(report.estimate.mean, 1.0, atol=1e-6)
+
+    def test_deltas_monotone_for_contraction(self):
+        def cycle(est):
+            new = est.copy()
+            new.mean[:] = 0.5 * est.mean
+            return new
+
+        report = iterate_to_convergence(cycle, make_estimate(8.0), max_cycles=30, tol=1e-10)
+        assert all(b <= a for a, b in zip(report.deltas, report.deltas[1:]))
+
+    def test_identity_converges_immediately(self):
+        report = iterate_to_convergence(lambda e: e.copy(), make_estimate(), max_cycles=5)
+        assert report.converged
+        assert report.cycles == 1
+
+    def test_non_convergence_reported(self):
+        def cycle(est):
+            new = est.copy()
+            new.mean[:] = est.mean + 1.0
+            return new
+
+        report = iterate_to_convergence(cycle, make_estimate(), max_cycles=3, tol=1e-9)
+        assert not report.converged
+        assert report.cycles == 3
+        assert len(report.deltas) == 3
+
+    def test_raise_on_failure(self):
+        def cycle(est):
+            new = est.copy()
+            new.mean[:] = est.mean + 1.0
+            return new
+
+        with pytest.raises(ConvergenceError, match="no convergence"):
+            iterate_to_convergence(
+                cycle, make_estimate(), max_cycles=2, tol=1e-9, raise_on_failure=True
+            )
+
+    def test_invalid_max_cycles(self):
+        with pytest.raises(ConvergenceError):
+            iterate_to_convergence(lambda e: e, make_estimate(), max_cycles=0)
+
+    def test_covariance_reset_restores_prior(self):
+        """With reset_covariance, every cycle must see the prior covariance."""
+        prior_var = 4.0
+        est = StructureEstimate.from_coords(np.zeros((1, 3)), sigma=np.sqrt(prior_var))
+        seen = []
+
+        def cycle(e):
+            seen.append(float(e.covariance[0, 0]))
+            new = e.copy()
+            new.covariance[:] *= 0.01  # pretend the cycle collapsed it
+            new.mean[:] = e.mean + 1.0 / (len(seen) ** 2)
+            return new
+
+        iterate_to_convergence(cycle, est, max_cycles=4, tol=1e-9)
+        assert all(v == pytest.approx(prior_var) for v in seen)
+
+    def test_no_reset_carries_covariance(self):
+        est = StructureEstimate.from_coords(np.zeros((1, 3)), sigma=2.0)
+        seen = []
+
+        def cycle(e):
+            seen.append(float(e.covariance[0, 0]))
+            new = e.copy()
+            new.covariance[:] *= 0.5
+            new.mean[:] = e.mean + 0.5 ** len(seen)
+            return new
+
+        iterate_to_convergence(cycle, est, max_cycles=3, tol=1e-9, reset_covariance=False)
+        assert seen[1] == pytest.approx(seen[0] * 0.5)
+
+    def test_cycles_to_threshold(self):
+        report = ConvergenceReport(make_estimate(), 3, deltas=[1.0, 0.1, 0.01])
+        assert report.cycles_to(0.5) == 2
+        assert report.cycles_to(1e-6) is None

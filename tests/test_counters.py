@@ -1,0 +1,117 @@
+"""Tests for repro.linalg.counters (recording machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.linalg.counters import (
+    CATEGORY_ORDER,
+    KernelEvent,
+    OpCategory,
+    Recorder,
+    current_recorder,
+    emit,
+    recording,
+)
+from repro.linalg.kernels import gemv
+
+
+class TestOpCategory:
+    def test_six_categories(self):
+        assert len(OpCategory) == 6
+
+    def test_paper_labels(self):
+        assert {c.value for c in OpCategory} == {"d-s", "chol", "sys", "m-m", "m-v", "vec"}
+
+    def test_category_order_matches_tables(self):
+        assert [c.value for c in CATEGORY_ORDER] == ["d-s", "chol", "sys", "m-m", "m-v", "vec"]
+
+
+class TestRecorder:
+    def test_record_appends_event(self):
+        rec = Recorder()
+        rec.record(OpCategory.MATMAT, 100.0, 800.0, (5, 5), 0.1)
+        assert len(rec.events) == 1
+        assert rec.events[0].category is OpCategory.MATMAT
+
+    def test_totals(self):
+        rec = Recorder()
+        rec.record(OpCategory.MATMAT, 100.0, 0.0, (1,), 0.5)
+        rec.record(OpCategory.VECTOR, 50.0, 0.0, (1,), 0.25)
+        assert rec.total_flops() == 150.0
+        assert rec.total_seconds() == pytest.approx(0.75)
+
+    def test_by_category_covers_all(self):
+        rec = Recorder()
+        rec.record(OpCategory.SYSTEM, 10.0, 0.0, (1,), 0.1)
+        by = rec.seconds_by_category()
+        assert set(by) == set(OpCategory)
+        assert by[OpCategory.SYSTEM] == pytest.approx(0.1)
+        assert by[OpCategory.MATMAT] == 0.0
+
+    def test_tagging(self):
+        rec = Recorder()
+        with rec.tagged("node7"):
+            rec.record(OpCategory.VECTOR, 1.0, 0.0, (1,), 0.0)
+        rec.record(OpCategory.VECTOR, 1.0, 0.0, (1,), 0.0)
+        by_tag = rec.events_by_tag()
+        assert len(by_tag["node7"]) == 1
+        assert len(by_tag[None]) == 1
+
+    def test_nested_tags_restore(self):
+        rec = Recorder()
+        with rec.tagged("outer"):
+            with rec.tagged("inner"):
+                rec.record(OpCategory.VECTOR, 1.0, 0.0, (1,), 0.0)
+            rec.record(OpCategory.VECTOR, 1.0, 0.0, (1,), 0.0)
+        tags = [e.tag for e in rec.events]
+        assert tags == ["inner", "outer"]
+
+
+class TestRecordingContext:
+    def test_no_active_recorder_by_default(self):
+        assert current_recorder() is None
+
+    def test_recording_activates(self):
+        with recording() as rec:
+            assert current_recorder() is rec
+        assert current_recorder() is None
+
+    def test_emit_goes_to_active(self):
+        with recording() as rec:
+            emit(OpCategory.VECTOR, 5.0, 0.0, (1,), 0.0)
+        assert rec.total_flops() == 5.0
+
+    def test_emit_without_recorder_is_noop(self):
+        emit(OpCategory.VECTOR, 5.0, 0.0, (1,), 0.0)  # must not raise
+
+    def test_nested_recording_shadows(self):
+        with recording() as outer:
+            with recording() as inner:
+                emit(OpCategory.VECTOR, 1.0, 0.0, (1,), 0.0)
+            assert len(inner.events) == 1
+            assert len(outer.events) == 0
+
+    def test_kernels_record_into_context(self):
+        a = np.ones((3, 4))
+        x = np.ones(4)
+        with recording() as rec:
+            gemv(a, x)
+        assert len(rec.events) == 1
+        assert rec.events[0].category is OpCategory.MATVEC
+        assert rec.events[0].flops == 2 * 3 * 4
+
+    def test_existing_recorder_reused(self):
+        rec = Recorder()
+        with recording(rec) as active:
+            assert active is rec
+
+
+class TestKernelEvent:
+    def test_frozen(self):
+        e = KernelEvent(OpCategory.VECTOR, 1.0, 1.0, (1,), 0.0)
+        with pytest.raises(AttributeError):
+            e.flops = 2.0
+
+    def test_default_parallel_rows(self):
+        e = KernelEvent(OpCategory.VECTOR, 1.0, 1.0, (1,), 0.0)
+        assert e.parallel_rows == 1

@@ -1,0 +1,156 @@
+"""Tests for automatic decomposition (RCB and graph partitioning)."""
+
+import numpy as np
+import pytest
+
+from repro.constraints import DistanceConstraint
+from repro.core.decompose import (
+    constraint_graph,
+    graph_partition_hierarchy,
+    recursive_coordinate_bisection,
+)
+from repro.core.hierarchy import assign_constraints
+from repro.errors import HierarchyError
+
+
+@pytest.fixture
+def two_clusters(rng):
+    """Two well-separated atom clusters, densely constrained internally."""
+    a = rng.normal(0, 1, (8, 3))
+    b = rng.normal(0, 1, (8, 3)) + np.array([100.0, 0, 0])
+    coords = np.vstack([a, b])
+    cons = []
+    for base in (0, 8):
+        for i in range(8):
+            for j in range(i + 1, 8):
+                d = float(np.linalg.norm(coords[base + i] - coords[base + j]))
+                cons.append(DistanceConstraint(base + i, base + j, max(d, 0.1), 0.1))
+    # one weak cross-link
+    d = float(np.linalg.norm(coords[0] - coords[8]))
+    cons.append(DistanceConstraint(0, 8, d, 1.0))
+    return coords, cons
+
+
+class TestRCB:
+    def test_partitions_all_atoms(self, two_clusters):
+        coords, _ = two_clusters
+        h = recursive_coordinate_bisection(coords, max_leaf_atoms=4)
+        assert np.array_equal(np.sort(h.root.atoms), np.arange(16))
+
+    def test_leaf_size_bound(self, two_clusters):
+        coords, _ = two_clusters
+        h = recursive_coordinate_bisection(coords, max_leaf_atoms=4)
+        assert all(l.n_atoms <= 4 for l in h.leaves())
+
+    def test_single_leaf_when_small(self, rng):
+        coords = rng.normal(size=(3, 3))
+        h = recursive_coordinate_bisection(coords, max_leaf_atoms=10)
+        assert len(h) == 1
+
+    def test_splits_longest_axis_first(self, two_clusters):
+        """The 100-Å x gap must be the first cut: the two clusters land in
+        different root children."""
+        coords, _ = two_clusters
+        h = recursive_coordinate_bisection(coords, max_leaf_atoms=8)
+        left, right = h.root.children
+        assert set(left.atoms) == set(range(8)) or set(left.atoms) == set(range(8, 16))
+
+    def test_invalid_inputs(self, rng):
+        with pytest.raises(HierarchyError):
+            recursive_coordinate_bisection(rng.normal(size=(4, 2)))
+        with pytest.raises(HierarchyError):
+            recursive_coordinate_bisection(rng.normal(size=(4, 3)), max_leaf_atoms=0)
+
+    def test_valid_hierarchy_invariants(self, two_clusters):
+        coords, cons = two_clusters
+        h = recursive_coordinate_bisection(coords, max_leaf_atoms=4)
+        h.validate()
+        assign_constraints(h, cons)  # must not raise
+
+
+class TestConstraintGraph:
+    def test_pairwise_edges(self):
+        g = constraint_graph(4, [DistanceConstraint(0, 1, 1.0, 0.1)])
+        assert g.has_edge(0, 1)
+        assert g[0][1]["weight"] == 1.0
+
+    def test_duplicate_constraints_accumulate_weight(self):
+        cons = [DistanceConstraint(0, 1, 1.0, 0.1)] * 3
+        g = constraint_graph(2, cons)
+        assert g[0][1]["weight"] == 3.0
+
+    def test_wide_constraints_downweighted(self):
+        from repro.constraints import PositionConstraint, AngleConstraint
+
+        g = constraint_graph(3, [AngleConstraint(0, 1, 2, 1.0, 0.1)])
+        # 3-atom clique, each edge weight 1/2
+        assert g[0][1]["weight"] == pytest.approx(0.5)
+        assert g[0][2]["weight"] == pytest.approx(0.5)
+
+    def test_single_atom_constraints_add_no_edges(self):
+        from repro.constraints import PositionConstraint
+
+        g = constraint_graph(2, [PositionConstraint(0, np.zeros(3), 1.0)])
+        assert g.number_of_edges() == 0
+
+    def test_isolated_atoms_present(self):
+        g = constraint_graph(5, [])
+        assert g.number_of_nodes() == 5
+
+
+class TestGraphPartition:
+    @pytest.mark.parametrize("method", ["kl", "spectral"])
+    def test_separates_clusters(self, two_clusters, method):
+        coords, cons = two_clusters
+        h = graph_partition_hierarchy(16, cons, max_leaf_atoms=8, method=method)
+        assign_constraints(h, cons)
+        # Only the single cross-link (1 row) may sit above the leaves'
+        # cluster level; the dense intra-cluster constraints must not.
+        top = h.root.n_constraint_rows
+        assert top <= 2
+
+    @pytest.mark.parametrize("method", ["kl", "spectral"])
+    def test_covers_all_atoms(self, two_clusters, method):
+        coords, cons = two_clusters
+        h = graph_partition_hierarchy(16, cons, max_leaf_atoms=4, method=method)
+        assert np.array_equal(np.sort(h.root.atoms), np.arange(16))
+        h.validate()
+
+    def test_unknown_method(self, two_clusters):
+        _, cons = two_clusters
+        with pytest.raises(HierarchyError, match="unknown"):
+            graph_partition_hierarchy(16, cons, method="metis")
+
+    def test_disconnected_graph_free_cut(self, rng):
+        """Two components with no cross edges must split without a cut."""
+        cons = [DistanceConstraint(0, 1, 1.0, 0.1), DistanceConstraint(2, 3, 1.0, 0.1)]
+        h = graph_partition_hierarchy(4, cons, max_leaf_atoms=2, method="kl")
+        assign_constraints(h, cons)
+        assert h.root.n_constraint_rows == 0
+
+    def test_deterministic_with_seed(self, two_clusters):
+        _, cons = two_clusters
+        h1 = graph_partition_hierarchy(16, cons, max_leaf_atoms=4, method="kl", seed=7)
+        h2 = graph_partition_hierarchy(16, cons, max_leaf_atoms=4, method="kl", seed=7)
+        assert [tuple(l.atoms) for l in h1.leaves()] == [tuple(l.atoms) for l in h2.leaves()]
+
+    def test_beats_rcb_on_interleaved_geometry(self, rng):
+        """Graph partitioning must capture more constraints at leaves than
+        RCB when spatial position is misleading (interleaved chains)."""
+        # Two chains whose atoms alternate in space along x.
+        n = 16
+        coords = np.zeros((n, 3))
+        coords[:, 0] = np.arange(n)
+        chain_a = list(range(0, n, 2))
+        chain_b = list(range(1, n, 2))
+        cons = []
+        for chain in (chain_a, chain_b):
+            for i in range(len(chain)):
+                for j in range(i + 1, len(chain)):
+                    d = abs(chain[i] - chain[j]) or 1
+                    cons.append(DistanceConstraint(chain[i], chain[j], float(d), 0.1))
+        h_rcb = recursive_coordinate_bisection(coords, max_leaf_atoms=8)
+        assign_constraints(h_rcb, cons)
+        h_gp = graph_partition_hierarchy(n, cons, max_leaf_atoms=8, method="kl", seed=0)
+        assign_constraints(h_gp, cons)
+        assert h_gp.leaf_constraint_fraction() > h_rcb.leaf_constraint_fraction()

@@ -1,0 +1,108 @@
+"""Tests for residual diagnostics and PDB output."""
+
+import numpy as np
+import pytest
+
+from repro.constraints import DistanceConstraint, PositionConstraint
+from repro.core.diagnostics import format_residual_report, residual_report
+from repro.core.state import StructureEstimate
+from repro.errors import DimensionError
+from repro.molecules.pdb import PDBError, bfactor_to_sigma, read_pdb, write_pdb
+
+
+@pytest.fixture
+def consistent_setup(rng):
+    coords = rng.normal(0, 2, (4, 3))
+    constraints = []
+    for i in range(3):
+        d = float(np.linalg.norm(coords[i] - coords[i + 1]))
+        constraints.append(DistanceConstraint(i, i + 1, d + rng.normal(0, 0.05), 0.05**2))
+    constraints.append(PositionConstraint(0, coords[0], 0.1))
+    estimate = StructureEstimate.from_coords(coords, sigma=1.0)
+    return estimate, constraints
+
+
+class TestResidualReport:
+    def test_groups_by_type(self, consistent_setup):
+        estimate, constraints = consistent_setup
+        report = residual_report(estimate, constraints)
+        assert set(report.groups) == {"DistanceConstraint", "PositionConstraint"}
+        assert report.groups["DistanceConstraint"].count == 3
+        assert report.groups["PositionConstraint"].rows == 3
+
+    def test_consistent_data_low_chi2(self, consistent_setup):
+        estimate, constraints = consistent_setup
+        report = residual_report(estimate, constraints)
+        assert report.consistent
+        assert report.overall_reduced_chi2 < 3.0
+
+    def test_outlier_flagged(self, consistent_setup):
+        estimate, constraints = consistent_setup
+        bad = DistanceConstraint(0, 2, 50.0, 0.01)  # wildly inconsistent
+        report = residual_report(estimate, constraints + [bad])
+        assert report.outliers
+        idx, name, z = report.outliers[0]
+        assert idx == len(constraints)
+        assert name == "DistanceConstraint"
+        assert z > 4.0
+        assert not report.consistent
+
+    def test_no_constraints_rejected(self, consistent_setup):
+        estimate, _ = consistent_setup
+        with pytest.raises(DimensionError):
+            residual_report(estimate, [])
+
+    def test_format(self, consistent_setup):
+        estimate, constraints = consistent_setup
+        text = format_residual_report(residual_report(estimate, constraints))
+        assert "chi2/dof" in text
+        assert "no outliers flagged" in text
+
+    def test_format_lists_outliers(self, consistent_setup):
+        estimate, constraints = consistent_setup
+        bad = DistanceConstraint(0, 2, 50.0, 0.01)
+        text = format_residual_report(residual_report(estimate, constraints + [bad]))
+        assert "outliers" in text and "z=" in text
+
+
+class TestPDB:
+    def test_roundtrip_coords_and_bfactors(self, tmp_path, rng):
+        coords = rng.normal(0, 5, (6, 3))
+        est = StructureEstimate.from_coords(coords, sigma=0.7)
+        path = tmp_path / "model.pdb"
+        write_pdb(path, est)
+        read_coords, bfactors = read_pdb(path)
+        assert np.allclose(read_coords, coords, atol=2e-3)  # 3-decimal columns
+        sigma = bfactor_to_sigma(bfactors)
+        expected = est.atom_uncertainty()
+        assert np.allclose(sigma, expected, rtol=0.01)
+
+    def test_title_written(self, tmp_path):
+        est = StructureEstimate.from_coords(np.zeros((2, 3)), sigma=1.0)
+        path = tmp_path / "t.pdb"
+        write_pdb(path, est, title="my molecule")
+        assert "my molecule" in path.read_text()
+        assert path.read_text().rstrip().endswith("END")
+
+    def test_read_rejects_empty(self, tmp_path):
+        path = tmp_path / "empty.pdb"
+        path.write_text("REMARK nothing here\n")
+        with pytest.raises(PDBError, match="no ATOM"):
+            read_pdb(path)
+
+    def test_read_rejects_malformed(self, tmp_path):
+        path = tmp_path / "bad.pdb"
+        path.write_text("ATOM  broken line\n")
+        with pytest.raises(PDBError, match="malformed"):
+            read_pdb(path)
+
+    def test_bfactor_inversion_validates(self):
+        with pytest.raises(DimensionError):
+            bfactor_to_sigma(np.array([-1.0]))
+
+    def test_large_structure_serials_wrap(self, tmp_path):
+        est = StructureEstimate.from_coords(np.zeros((3, 3)), sigma=1.0)
+        path = tmp_path / "w.pdb"
+        write_pdb(path, est)
+        coords, _ = read_pdb(path)
+        assert coords.shape == (3, 3)

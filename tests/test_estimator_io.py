@@ -1,0 +1,161 @@
+"""Tests for the StructureEstimator facade and serialization."""
+
+import numpy as np
+import pytest
+
+from repro import io as rio
+from repro.core.estimator import DECOMPOSITIONS, StructureEstimator
+from repro.core.hierarchy import Hierarchy, HierarchyNode
+from repro.core.state import StructureEstimate
+from repro.errors import HierarchyError
+from repro.constraints import (
+    AngleConstraint,
+    DistanceBoundConstraint,
+    DistanceConstraint,
+    LinearConstraint,
+    PositionConstraint,
+    TorsionConstraint,
+)
+
+
+class TestStructureEstimator:
+    def test_solve_square(self, square_coords, square_constraints, rng):
+        est = StructureEstimator(4, square_constraints, decomposition="flat")
+        noisy = square_coords + rng.normal(0, 0.2, square_coords.shape)
+        solution = est.solve(noisy, prior_sigma=1.0, max_cycles=200, tol=1e-4)
+        assert solution.converged
+        assert solution.estimate.rmsd(square_coords) < 0.15
+
+    @pytest.mark.parametrize("decomposition", DECOMPOSITIONS)
+    def test_all_decompositions_run(self, helix2_problem, decomposition):
+        problem = helix2_problem
+        est = StructureEstimator(
+            problem.n_atoms,
+            problem.constraints,
+            decomposition=decomposition,
+            max_leaf_atoms=24,
+        )
+        solution = est.solve(problem.initial_estimate(0), max_cycles=2)
+        assert solution.estimate.n_atoms == problem.n_atoms
+        assert est.hierarchy is not None
+
+    def test_explicit_hierarchy_used(self, helix2_problem):
+        problem = helix2_problem
+        est = StructureEstimator(
+            problem.n_atoms, problem.constraints, decomposition=problem.hierarchy
+        )
+        est.solve(problem.initial_estimate(0), max_cycles=1)
+        assert est.hierarchy is problem.hierarchy
+
+    def test_unknown_decomposition(self):
+        with pytest.raises(HierarchyError, match="unknown"):
+            StructureEstimator(4, [], decomposition="magic")
+
+    def test_atom_count_mismatch(self, helix2_problem):
+        est = StructureEstimator(5, helix2_problem.constraints, decomposition="flat")
+        with pytest.raises(HierarchyError, match="atoms"):
+            est.solve(helix2_problem.initial_estimate(0))
+
+    def test_accepts_estimate_or_coords(self, square_constraints, square_coords):
+        est = StructureEstimator(4, square_constraints, decomposition="flat")
+        a = est.solve(square_coords, max_cycles=1)
+        b = est.solve(
+            StructureEstimate.from_coords(square_coords, sigma=10.0), max_cycles=1
+        )
+        assert np.allclose(a.coords, b.coords)
+
+    def test_bound_violations_counter(self):
+        cons = [
+            DistanceBoundConstraint(0, 1, None, 1.0, 0.1),
+            DistanceConstraint(0, 1, 1.0, 0.1),
+        ]
+        est = StructureEstimator(2, cons, decomposition="flat")
+        far = np.array([[0.0, 0, 0], [5.0, 0, 0]])
+        near = np.array([[0.0, 0, 0], [0.5, 0, 0]])
+        assert est.bound_violations(far) == 1
+        assert est.bound_violations(near) == 0
+
+
+class TestEstimateIO:
+    def test_roundtrip(self, tmp_path, rng):
+        coords = rng.normal(0, 2, (3, 3))
+        a = rng.normal(size=(9, 9))
+        est = StructureEstimate(coords.ravel(), a @ a.T + np.eye(9))
+        path = tmp_path / "est.npz"
+        rio.save_estimate(path, est)
+        loaded = rio.load_estimate(path)
+        assert np.array_equal(loaded.mean, est.mean)
+        assert np.array_equal(loaded.covariance, est.covariance)
+
+    def test_wrong_archive_rejected(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, foo=np.zeros(3))
+        with pytest.raises(rio.SerializationError):
+            rio.load_estimate(path)
+
+
+class TestProblemIO:
+    def test_helix_roundtrip(self, tmp_path, helix2_problem):
+        path = tmp_path / "helix.npz"
+        rio.save_problem(path, helix2_problem)
+        loaded = rio.load_problem(path)
+        assert loaded.n_atoms == helix2_problem.n_atoms
+        assert loaded.n_constraint_rows == helix2_problem.n_constraint_rows
+        assert np.array_equal(loaded.true_coords, helix2_problem.true_coords)
+        # hierarchy topology preserved
+        assert len(loaded.hierarchy) == len(helix2_problem.hierarchy)
+        assert [n.name for n in loaded.hierarchy.post_order()] == [
+            n.name for n in helix2_problem.hierarchy.post_order()
+        ]
+
+    def test_solves_identically_after_roundtrip(self, tmp_path, helix2_problem):
+        from repro.core.hier_solver import HierarchicalSolver
+
+        path = tmp_path / "helix.npz"
+        rio.save_problem(path, helix2_problem)
+        loaded = rio.load_problem(path)
+        loaded.assign()
+        helix2_problem.assign()
+        est = helix2_problem.initial_estimate(0)
+        a = HierarchicalSolver(helix2_problem.hierarchy, 16).run_cycle(est)
+        b = HierarchicalSolver(loaded.hierarchy, 16).run_cycle(est)
+        assert np.allclose(a.estimate.mean, b.estimate.mean)
+
+    def test_every_constraint_type_roundtrips(self, tmp_path):
+        from repro.core.hierarchy import flat_hierarchy
+        from repro.molecules.problem import StructureProblem
+
+        coords = np.array([[0.0, 0, 0], [1.5, 0, 0], [1.5, 1.5, 0], [0, 1.5, 1.0]])
+        cons = [
+            DistanceConstraint(0, 1, 1.5, 0.1),
+            DistanceBoundConstraint(1, 2, 1.0, None, 0.2),
+            DistanceBoundConstraint(0, 2, None, 4.0, 0.2),
+            AngleConstraint(0, 1, 2, 1.2, 0.05),
+            TorsionConstraint(0, 1, 2, 3, 0.5, 0.1),
+            PositionConstraint(0, coords[0], 0.3),
+            LinearConstraint(
+                (0, 3), np.ones((2, 6)), np.array([1.0, 2.0]), np.array([0.5, 0.5])
+            ),
+        ]
+        problem = StructureProblem(
+            name="mixed",
+            true_coords=coords,
+            constraints=cons,
+            hierarchy=flat_hierarchy(4),
+        )
+        path = tmp_path / "mixed.npz"
+        rio.save_problem(path, problem)
+        loaded = rio.load_problem(path)
+        assert [type(c).__name__ for c in loaded.constraints] == [
+            type(c).__name__ for c in cons
+        ]
+        # identical measurement behaviour
+        for a, b in zip(cons, loaded.constraints):
+            assert np.allclose(a.residual(coords), b.residual(coords))
+            assert np.allclose(a.jacobian(coords), b.jacobian(coords))
+
+    def test_wrong_archive_rejected(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, foo=np.zeros(3))
+        with pytest.raises(rio.SerializationError):
+            rio.load_problem(path)

@@ -1,0 +1,54 @@
+"""Smoke tests: the example scripts must run end to end.
+
+Only the fast examples run in the suite (the ribosome and speedup-study
+scripts take minutes on a slow host); they execute in-process via runpy
+so coverage and import errors surface normally.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+@pytest.mark.skipif(not EXAMPLES.exists(), reason="examples directory missing")
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "converged: True" in out
+        assert "final RMSD to truth" in out
+
+    def test_custom_molecule_decomposition(self, capsys):
+        out = run_example("custom_molecule_decomposition.py", capsys)
+        assert "graph-kl" in out
+        assert "solved with graph-kl hierarchy" in out
+
+    def test_helix_reconstruction(self, capsys):
+        out = run_example("helix_reconstruction.py", capsys)
+        assert "FLOP ratio" in out
+        assert "shape error" in out
+
+    def test_all_examples_present(self):
+        names = {p.name for p in EXAMPLES.glob("*.py")}
+        assert {
+            "quickstart.py",
+            "helix_reconstruction.py",
+            "ribosome_30s.py",
+            "parallel_speedup_study.py",
+            "custom_molecule_decomposition.py",
+            "protein_noe_bounds.py",
+            "diagnostics_and_export.py",
+        } <= names
+
+    def test_diagnostics_and_export(self, capsys):
+        out = run_example("diagnostics_and_export.py", capsys)
+        assert "after round 2" in out
+        assert "no outliers flagged" in out

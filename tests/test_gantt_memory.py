@@ -1,0 +1,106 @@
+"""Tests for the Gantt renderer and the memory accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core.hier_solver import HierarchicalSolver
+from repro.core.memory import (
+    batch_temporaries_bytes,
+    estimate_bytes,
+    flat_peak_bytes,
+    hierarchical_peak_bytes,
+)
+from repro.errors import SimulationError
+from repro.machine import DASH, simulate_solve
+from repro.machine.gantt import gantt_chart
+from repro.machine.trace import SimulationResult, CategoryBreakdown
+from repro.molecules.rna import build_helix
+
+
+@pytest.fixture(scope="module")
+def helix4_sim():
+    problem = build_helix(4)
+    problem.assign()
+    cycle = HierarchicalSolver(problem.hierarchy, batch_size=16).run_cycle(
+        problem.initial_estimate(0)
+    )
+    return problem, simulate_solve(cycle, problem.hierarchy, DASH(), 4)
+
+
+class TestGantt:
+    def test_renders_all_processors(self, helix4_sim):
+        _, result = helix4_sim
+        text = gantt_chart(result)
+        assert text.count("\np") == 4  # p0..p3 rows
+        assert "work time" in text
+        assert "largest tasks" in text
+
+    def test_root_spans_all_processors(self, helix4_sim):
+        problem, result = helix4_sim
+        text = gantt_chart(result, width=40)
+        rows = [l for l in text.splitlines() if l.startswith("p")]
+        # the last column of every processor row is the root's glyph
+        last_chars = {row.split("|")[1][-1] for row in rows}
+        assert len(last_chars) == 1
+        assert last_chars != {"."}
+
+    def test_idle_visible(self, helix4_sim):
+        _, result = helix4_sim
+        if result.utilization < 0.999:
+            assert "." in gantt_chart(result)
+
+    def test_too_narrow_rejected(self, helix4_sim):
+        _, result = helix4_sim
+        with pytest.raises(SimulationError):
+            gantt_chart(result, width=10)
+
+    def test_empty_timeline(self):
+        empty = SimulationResult(
+            machine="m",
+            n_processors=1,
+            work_time=0.0,
+            breakdown=CategoryBreakdown({}),
+            timeline=[],
+            busy_per_processor=[0.0],
+        )
+        assert "empty" in gantt_chart(empty)
+
+
+class TestMemoryAccounting:
+    def test_estimate_bytes(self):
+        # 2 atoms -> n=6 -> 8*(6+36)
+        assert estimate_bytes(2) == 8 * 42
+
+    def test_flat_peak_dominated_by_covariance(self):
+        n_atoms = 100
+        assert flat_peak_bytes(n_atoms) > 8 * (300 * 300)
+
+    def test_hier_peak_at_least_flat(self):
+        """The paper's §4.4 observation: the hierarchy does not reduce
+        peak memory — the root still holds the full covariance while
+        late-arriving subtree results are queued."""
+        for length in (2, 4, 8):
+            problem = build_helix(length)
+            profile = hierarchical_peak_bytes(problem.hierarchy)
+            assert profile.overhead_ratio >= 1.0
+
+    def test_overhead_modest(self):
+        problem = build_helix(8)
+        profile = hierarchical_peak_bytes(problem.hierarchy)
+        assert profile.overhead_ratio < 2.0  # inherent overhead is bounded
+
+    def test_peak_at_or_near_root(self):
+        problem = build_helix(4)
+        profile = hierarchical_peak_bytes(problem.hierarchy)
+        assert profile.peak_node.startswith("helix")
+
+    def test_deeper_tree_lower_intermediate_live_set(self):
+        """Peak is root-dominated, so deeper decompositions cost little
+        extra despite many more nodes."""
+        shallow = hierarchical_peak_bytes(build_helix(2).hierarchy)
+        deep = hierarchical_peak_bytes(build_helix(8).hierarchy)
+        # Ratios stay in the same modest band regardless of depth.
+        assert abs(shallow.overhead_ratio - deep.overhead_ratio) < 0.5
+
+    def test_temporaries_scale_with_batch(self):
+        assert batch_temporaries_bytes(50, 64) > batch_temporaries_bytes(50, 8)

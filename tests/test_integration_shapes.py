@@ -1,0 +1,172 @@
+"""Integration tests: end-to-end pipelines and paper shape criteria.
+
+These run the full stack — generator → solver → recorder → assignment →
+machine simulator — on reduced workloads and assert the qualitative
+properties the paper's exhibits rest on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.flat import FlatSolver
+from repro.core.hier_solver import HierarchicalSolver
+from repro.experiments.report import growth_exponent
+from repro.linalg import OpCategory, recording
+from repro.machine import CHALLENGE, DASH, simulate_solve
+from repro.molecules.ribosome import build_ribo30s
+from repro.molecules.rna import build_helix
+from repro.molecules.superpose import superposed_rmsd
+
+
+@pytest.fixture(scope="module")
+def helix8_cycle():
+    problem = build_helix(8)
+    problem.assign()
+    solver = HierarchicalSolver(problem.hierarchy, batch_size=16)
+    cycle = solver.run_cycle(problem.initial_estimate(0))
+    return problem, cycle
+
+
+class TestTable1Shape:
+    """Hierarchical beats flat, and the gap widens with molecule size."""
+
+    @pytest.fixture(scope="class")
+    def flop_counts(self):
+        out = {}
+        for length in (1, 2, 4):
+            problem = build_helix(length)
+            problem.assign()
+            est = problem.initial_estimate(0)
+            with recording() as rec_flat:
+                FlatSolver(problem.constraints, batch_size=16).run_cycle(est)
+            with recording() as rec_hier:
+                HierarchicalSolver(problem.hierarchy, batch_size=16).run_cycle(est)
+            out[length] = (
+                rec_flat.total_flops(),
+                rec_hier.total_flops(),
+                problem.n_constraint_rows,
+            )
+        return out
+
+    def test_hierarchy_always_cheaper(self, flop_counts):
+        for flat, hier, _rows in flop_counts.values():
+            assert hier < flat
+
+    def test_speedup_grows_with_size(self, flop_counts):
+        speedups = [flat / hier for flat, hier, _ in flop_counts.values()]
+        assert speedups == sorted(speedups)
+
+    def test_flat_per_constraint_quadratic(self, flop_counts):
+        lengths = sorted(flop_counts)
+        per = [flop_counts[l][0] / flop_counts[l][2] for l in lengths]
+        exponent = growth_exponent(lengths, per)
+        assert 1.6 < exponent < 2.4  # O(n²) per scalar constraint
+
+    def test_hier_per_constraint_subquadratic(self, flop_counts):
+        lengths = sorted(flop_counts)
+        per = [flop_counts[l][1] / flop_counts[l][2] for l in lengths]
+        exponent = growth_exponent(lengths, per)
+        flat_exp = growth_exponent(
+            lengths, [flop_counts[l][0] / flop_counts[l][2] for l in lengths]
+        )
+        assert exponent < flat_exp - 0.4
+
+
+class TestParallelShapes:
+    def test_dash_speedup_curve(self, helix8_cycle):
+        problem, cycle = helix8_cycle
+        results = {
+            p: simulate_solve(cycle, problem.hierarchy, DASH(), p) for p in (1, 2, 4, 8, 16)
+        }
+        speedups = [results[1].work_time / results[p].work_time for p in (2, 4, 8, 16)]
+        assert speedups == sorted(speedups)
+        assert speedups[-1] > 8.0  # decent efficiency at 16
+
+    def test_non_power_of_two_dip(self, helix8_cycle):
+        """Binary helix: efficiency at 6 processors drops below both 4 and 8."""
+        problem, cycle = helix8_cycle
+        t = {
+            p: simulate_solve(cycle, problem.hierarchy, DASH(), p).work_time
+            for p in (1, 4, 6, 8)
+        }
+        eff = {p: t[1] / t[p] / p for p in (4, 6, 8)}
+        assert eff[6] < eff[4] and eff[6] < eff[8]
+
+    def test_ribo_no_deep_dip(self):
+        """High branching factor: ribo30S efficiency at 6 close to at 8."""
+        problem = build_ribo30s()
+        problem.assign()
+        cycle = HierarchicalSolver(problem.hierarchy, batch_size=16).run_cycle(
+            problem.initial_estimate(0)
+        )
+        t = {
+            p: simulate_solve(cycle, problem.hierarchy, DASH(), p).work_time
+            for p in (1, 4, 6, 8)
+        }
+        eff = {p: t[1] / t[p] / p for p in (4, 6, 8)}
+        assert eff[6] > 0.9 * min(eff[4], eff[8])
+
+    def test_mm_dominates_and_scales(self, helix8_cycle):
+        problem, cycle = helix8_cycle
+        r1 = simulate_solve(cycle, problem.hierarchy, DASH(), 1)
+        r16 = simulate_solve(cycle, problem.hierarchy, DASH(), 16)
+        assert r1.breakdown[OpCategory.MATMAT] == max(r1.breakdown.seconds.values())
+        mm_speedup = r1.breakdown[OpCategory.MATMAT] / r16.breakdown[OpCategory.MATMAT]
+        assert mm_speedup > 10.0
+
+    def test_ds_scales_worse_on_dash_than_challenge(self, helix8_cycle):
+        problem, cycle = helix8_cycle
+        ds = {}
+        for cfg in (DASH(), CHALLENGE()):
+            r1 = simulate_solve(cycle, problem.hierarchy, cfg, 1)
+            r16 = simulate_solve(cycle, problem.hierarchy, cfg, 16)
+            ds[cfg.name] = (
+                r1.breakdown[OpCategory.DENSE_SPARSE]
+                / r16.breakdown[OpCategory.DENSE_SPARSE]
+            )
+        assert ds["DASH"] < ds["Challenge"]
+
+    def test_chol_scales_poorly(self, helix8_cycle):
+        problem, cycle = helix8_cycle
+        r1 = simulate_solve(cycle, problem.hierarchy, DASH(), 1)
+        r16 = simulate_solve(cycle, problem.hierarchy, DASH(), 16)
+        chol_speedup = r1.breakdown[OpCategory.CHOLESKY] / r16.breakdown[OpCategory.CHOLESKY]
+        mm_speedup = r1.breakdown[OpCategory.MATMAT] / r16.breakdown[OpCategory.MATMAT]
+        assert chol_speedup < mm_speedup
+
+
+class TestEndToEndAccuracy:
+    def test_helix_reconstruction(self):
+        """Full pipeline: perturbed helix converges back to its geometry."""
+        problem = build_helix(2)
+        problem.assign()
+        solver = HierarchicalSolver(problem.hierarchy, batch_size=16)
+        estimate = problem.initial_estimate(1)
+        before = superposed_rmsd(estimate.coords, problem.true_coords)
+        report = solver.solve(estimate, max_cycles=12, tol=1e-5)
+        after = superposed_rmsd(report.estimate.coords, problem.true_coords)
+        assert after < 0.35 * before
+
+    def test_uncertainty_shrinks_where_data_is(self):
+        problem = build_helix(1)
+        problem.assign()
+        solver = HierarchicalSolver(problem.hierarchy, batch_size=16)
+        estimate = problem.initial_estimate(0)
+        res = solver.run_cycle(estimate)
+        assert res.estimate.atom_uncertainty().max() < estimate.atom_uncertainty().min()
+
+    def test_ribo_cycle_improves_residuals(self):
+        problem = build_ribo30s()
+        problem.assign()
+        solver = HierarchicalSolver(problem.hierarchy, batch_size=16)
+        estimate = problem.initial_estimate(0)
+        res = solver.run_cycle(estimate)
+
+        def mean_residual(est):
+            coords = est.coords
+            sample = problem.constraints[::25]
+            return float(np.mean([np.abs(c.residual(coords)).mean() for c in sample]))
+
+        # One cycle of a 4 Å-perturbed 900-atom complex: solid but partial
+        # progress (full convergence takes 20-200 cycles per the paper).
+        assert mean_residual(res.estimate) < 0.9 * mean_residual(estimate)

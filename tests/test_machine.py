@@ -1,0 +1,309 @@
+"""Tests for the machine configurations, cost model and simulator."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.assignment import assign_processors
+from repro.core.hier_solver import HierarchicalSolver
+from repro.core.workmodel import analytic_work_model
+from repro.errors import SimulationError
+from repro.linalg.counters import KernelEvent, OpCategory
+from repro.machine import (
+    CHALLENGE,
+    DASH,
+    MachineConfig,
+    MachineSimulator,
+    clusters_spanned,
+    kernel_elapsed,
+    node_elapsed,
+    simulate_solve,
+    uniform_machine,
+)
+from repro.machine.trace import CategoryBreakdown, format_speedup_table
+
+
+def ev(cat=OpCategory.MATMAT, flops=1e6, nbytes=1e4, rows=1000):
+    return KernelEvent(cat, flops, nbytes, (0,), 0.0, parallel_rows=rows)
+
+
+class TestConfigs:
+    def test_dash_topology(self):
+        d = DASH()
+        assert d.n_processors == 32
+        assert d.cluster_size == 4
+        assert d.n_clusters == 8
+        assert d.distributed
+
+    def test_challenge_topology(self):
+        c = CHALLENGE()
+        assert c.n_processors == 16
+        assert c.n_clusters == 1
+        assert not c.distributed
+
+    def test_challenge_faster_than_dash(self):
+        d, c = DASH(), CHALLENGE()
+        for cat in OpCategory:
+            assert c.rates[cat] > d.rates[cat]
+
+    def test_rates_required_for_all_categories(self):
+        with pytest.raises(SimulationError, match="rate"):
+            MachineConfig(
+                name="bad",
+                n_processors=2,
+                cluster_size=2,
+                distributed=False,
+                rates={OpCategory.MATMAT: 1e9},
+                serial_fraction={},
+                barrier_seconds=0.0,
+            )
+
+    def test_cluster_size_must_divide(self):
+        with pytest.raises(SimulationError, match="divide"):
+            MachineConfig(
+                name="bad",
+                n_processors=6,
+                cluster_size=4,
+                distributed=True,
+                rates={c: 1e9 for c in OpCategory},
+                serial_fraction={},
+                barrier_seconds=0.0,
+            )
+
+    def test_serial_fraction_range(self):
+        with pytest.raises(SimulationError, match="serial"):
+            MachineConfig(
+                name="bad",
+                n_processors=2,
+                cluster_size=2,
+                distributed=False,
+                rates={c: 1e9 for c in OpCategory},
+                serial_fraction={OpCategory.MATMAT: 1.5},
+                barrier_seconds=0.0,
+            )
+
+    def test_uniform_machine(self):
+        u = uniform_machine(4, flops=1e6)
+        assert u.rates[OpCategory.VECTOR] == 1e6
+        assert u.barrier_seconds == 0.0
+
+
+class TestClustersSpanned:
+    def test_within_one_cluster(self):
+        assert clusters_spanned((0, 4), 4) == 1
+        assert clusters_spanned((4, 8), 4) == 1
+
+    def test_spanning(self):
+        assert clusters_spanned((2, 6), 4) == 2
+        assert clusters_spanned((0, 32), 4) == 8
+
+    def test_single_processor(self):
+        assert clusters_spanned((5, 6), 4) == 1
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(SimulationError):
+            clusters_spanned((3, 3), 4)
+
+
+class TestKernelElapsed:
+    def test_single_processor_is_flops_over_rate(self):
+        cfg = uniform_machine(8, flops=1e6)
+        t = kernel_elapsed(ev(flops=2e6), (0, 1), cfg)
+        assert t == pytest.approx(2.0)
+
+    def test_ideal_scaling_on_ideal_machine(self):
+        cfg = uniform_machine(8, flops=1e6)
+        t1 = kernel_elapsed(ev(flops=8e6), (0, 1), cfg)
+        t8 = kernel_elapsed(ev(flops=8e6), (0, 8), cfg)
+        assert t8 == pytest.approx(t1 / 8)
+
+    def test_parallel_rows_bound(self):
+        cfg = uniform_machine(8, flops=1e6)
+        t = kernel_elapsed(ev(flops=8e6, rows=2), (0, 8), cfg)
+        assert t == pytest.approx(8.0 / 2)
+
+    def test_serial_fraction_amdahl(self):
+        cfg = uniform_machine(4, flops=1e6, serial_fraction=0.5)
+        t1 = kernel_elapsed(ev(flops=1e6), (0, 1), cfg)
+        t4 = kernel_elapsed(ev(flops=1e6), (0, 4), cfg)
+        assert t4 == pytest.approx(t1 * (0.5 + 0.5 / 4))
+
+    def test_barrier_cost_log_depth(self):
+        cfg = uniform_machine(8, flops=1e6, barrier_seconds=1.0)
+        t2 = kernel_elapsed(ev(flops=0.0), (0, 2), cfg)
+        t8 = kernel_elapsed(ev(flops=0.0), (0, 8), cfg)
+        assert t2 == pytest.approx(1.0)
+        assert t8 == pytest.approx(3.0)
+
+    def test_no_barrier_single_processor(self):
+        cfg = uniform_machine(8, flops=1e6, barrier_seconds=1.0)
+        assert kernel_elapsed(ev(flops=0.0), (3, 4), cfg) == 0.0
+
+    def test_dash_remote_penalty_when_spanning(self):
+        cfg = DASH()
+        e = ev(cat=OpCategory.DENSE_SPARSE, flops=1e6, nbytes=1e6)
+        within = kernel_elapsed(e, (0, 4), cfg)    # one cluster
+        across = kernel_elapsed(e, (0, 8), cfg)    # two clusters
+        # crossing clusters adds remote traffic that outweighs the 2x compute
+        assert across > within / 2
+
+    def test_dash_dense_less_affected_than_sparse(self):
+        cfg = DASH()
+        sp = ev(cat=OpCategory.DENSE_SPARSE, flops=1e6, nbytes=1e6)
+        mm = ev(cat=OpCategory.MATMAT, flops=1e6, nbytes=1e6)
+        sp_penalty = kernel_elapsed(sp, (0, 8), cfg) / (kernel_elapsed(sp, (0, 1), cfg) / 8)
+        mm_penalty = kernel_elapsed(mm, (0, 8), cfg) / (kernel_elapsed(mm, (0, 1), cfg) / 8)
+        assert sp_penalty > mm_penalty
+
+    def test_challenge_bus_contention_grows(self):
+        cfg = CHALLENGE()
+        e = ev(cat=OpCategory.DENSE_SPARSE, flops=0.0, nbytes=1e9)
+        t2 = kernel_elapsed(e, (0, 2), cfg)
+        t16 = kernel_elapsed(e, (0, 16), cfg)
+        assert t16 > t2
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(SimulationError):
+            kernel_elapsed(ev(), (2, 2), uniform_machine(4))
+
+
+class TestNodeElapsed:
+    def test_sums_and_splits(self):
+        cfg = uniform_machine(2, flops=1e6)
+        events = [ev(OpCategory.MATMAT, 1e6), ev(OpCategory.VECTOR, 2e6)]
+        total, by_cat = node_elapsed(events, (0, 1), cfg)
+        assert total == pytest.approx(3.0)
+        assert by_cat[OpCategory.MATMAT] == pytest.approx(1.0)
+        assert by_cat[OpCategory.VECTOR] == pytest.approx(2.0)
+        assert by_cat[OpCategory.CHOLESKY] == 0.0
+
+
+@pytest.fixture(scope="module")
+def helix4_cycle():
+    from repro.molecules.rna import build_helix
+
+    problem = build_helix(4)
+    problem.assign()
+    solver = HierarchicalSolver(problem.hierarchy, batch_size=16)
+    cycle = solver.run_cycle(problem.initial_estimate(0))
+    return problem, cycle
+
+
+class TestSimulator:
+    def test_single_processor_time_is_total_work(self, helix4_cycle):
+        problem, cycle = helix4_cycle
+        cfg = uniform_machine(1, flops=1e9)
+        res = simulate_solve(cycle, problem.hierarchy, cfg, 1)
+        total_flops = sum(r.flops for r in cycle.records)
+        assert res.work_time == pytest.approx(total_flops / 1e9)
+
+    def test_speedup_on_ideal_machine_reasonable(self, helix4_cycle):
+        problem, cycle = helix4_cycle
+        cfg = uniform_machine(8, flops=1e9)
+        r1 = simulate_solve(cycle, problem.hierarchy, cfg, 1)
+        r8 = simulate_solve(cycle, problem.hierarchy, cfg, 8)
+        speedup = r1.work_time / r8.work_time
+        assert 4.0 < speedup <= 8.0 + 1e-9
+
+    def test_makespan_at_least_critical_path(self, helix4_cycle):
+        """Even infinitely many processors cannot beat the root's chain."""
+        problem, cycle = helix4_cycle
+        cfg = uniform_machine(8, flops=1e9)
+        res = simulate_solve(cycle, problem.hierarchy, cfg, 8)
+        root_rec = cycle.record_by_nid()[problem.hierarchy.root.nid]
+        root_elapsed, _ = node_elapsed(root_rec.events, (0, 8), cfg)
+        assert res.work_time >= root_elapsed - 1e-12
+
+    def test_work_conservation_bounds(self, helix4_cycle):
+        """Summed busy time can only grow with P (gang-scheduled processors
+        stall inside width-limited kernels like Cholesky, and that stall is
+        counted as busy — the paper's per-processor accounting), and every
+        processor's busy time is bounded by the makespan."""
+        problem, cycle = helix4_cycle
+        cfg = uniform_machine(16, flops=1e9)
+        r1 = simulate_solve(cycle, problem.hierarchy, cfg, 1)
+        r16 = simulate_solve(cycle, problem.hierarchy, cfg, 16)
+        assert sum(r16.busy_per_processor) >= sum(r1.busy_per_processor) - 1e-9
+        assert all(b <= r16.work_time + 1e-12 for b in r16.busy_per_processor)
+
+    def test_category_breakdown_sums_to_busy(self, helix4_cycle):
+        problem, cycle = helix4_cycle
+        cfg = DASH()
+        res = simulate_solve(cycle, problem.hierarchy, cfg, 4)
+        avg_busy = sum(res.busy_per_processor) / res.n_processors
+        assert res.breakdown.total() == pytest.approx(avg_busy, rel=1e-9)
+
+    def test_timeline_children_before_parents(self, helix4_cycle):
+        problem, cycle = helix4_cycle
+        res = simulate_solve(cycle, problem.hierarchy, DASH(), 8)
+        start = {t.nid: t.start for t in res.timeline}
+        finish = {t.nid: t.finish for t in res.timeline}
+        for node in problem.hierarchy.nodes:
+            for child in node.children:
+                assert finish[child.nid] <= start[node.nid] + 1e-12
+
+    def test_processor_exclusivity(self, helix4_cycle):
+        """No two node tasks may overlap in time on a shared processor."""
+        problem, cycle = helix4_cycle
+        res = simulate_solve(cycle, problem.hierarchy, DASH(), 6)
+        intervals = [[] for _ in range(6)]
+        for t in res.timeline:
+            for p in range(*t.proc_range):
+                intervals[p].append((t.start, t.finish))
+        for procs in intervals:
+            procs.sort()
+            for (s1, f1), (s2, f2) in zip(procs, procs[1:]):
+                assert f1 <= s2 + 1e-12
+
+    def test_utilization_bounded(self, helix4_cycle):
+        problem, cycle = helix4_cycle
+        res = simulate_solve(cycle, problem.hierarchy, DASH(), 8)
+        assert 0.0 < res.utilization <= 1.0
+
+    def test_more_processors_than_machine_rejected(self, helix4_cycle):
+        problem, cycle = helix4_cycle
+        with pytest.raises(SimulationError, match="has"):
+            simulate_solve(cycle, problem.hierarchy, CHALLENGE(), 17)
+
+    def test_missing_record_rejected(self, helix4_cycle):
+        problem, cycle = helix4_cycle
+        asg = assign_processors(problem.hierarchy, 2, analytic_work_model())
+        with pytest.raises(SimulationError, match="record"):
+            MachineSimulator(DASH()).simulate(problem.hierarchy, {}, asg)
+
+    def test_workmodel_assignment_supported(self, helix4_cycle):
+        problem, cycle = helix4_cycle
+        res = simulate_solve(
+            cycle, problem.hierarchy, DASH(), 4, model=analytic_work_model()
+        )
+        assert res.work_time > 0
+
+    def test_deterministic(self, helix4_cycle):
+        problem, cycle = helix4_cycle
+        a = simulate_solve(cycle, problem.hierarchy, DASH(), 8)
+        b = simulate_solve(cycle, problem.hierarchy, DASH(), 8)
+        assert a.work_time == b.work_time
+
+
+class TestTrace:
+    def test_breakdown_row_order(self):
+        bd = CategoryBreakdown({c: i for i, c in enumerate(OpCategory)})
+        assert bd.as_row() == [
+            bd[OpCategory.DENSE_SPARSE],
+            bd[OpCategory.CHOLESKY],
+            bd[OpCategory.SYSTEM],
+            bd[OpCategory.MATMAT],
+            bd[OpCategory.MATVEC],
+            bd[OpCategory.VECTOR],
+        ]
+
+    def test_format_speedup_table(self, helix4_cycle):
+        problem, cycle = helix4_cycle
+        results = [simulate_solve(cycle, problem.hierarchy, DASH(), p) for p in (1, 2)]
+        text = format_speedup_table(results)
+        assert "NP" in text and "spdup" in text
+        assert len(text.splitlines()) == 3
+
+    def test_format_empty(self):
+        assert "no results" in format_speedup_table([])

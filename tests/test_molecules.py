@@ -1,0 +1,240 @@
+"""Tests for the molecule generators (helix, ribosome, geometry, problem)."""
+
+import numpy as np
+import pytest
+
+from repro.constraints.distance import DistanceConstraint
+from repro.constraints.position import PositionConstraint
+from repro.molecules.geometry import all_pairs, knn_pairs, pairwise_distances
+from repro.molecules.perturb import perturbed_estimate
+from repro.molecules.ribosome import N_DOMAINS, N_PROTEINS, build_ribo30s
+from repro.molecules.rna import (
+    BASE_LIBRARY,
+    PAIR_PATTERN,
+    build_helix,
+    helix_atom_count,
+    pair_sequence,
+)
+from repro.molecules.superpose import superpose, superposed_rmsd
+from repro.errors import DimensionError, HierarchyError
+
+
+class TestGeometryHelpers:
+    def test_pairwise_distances(self, rng):
+        a = rng.normal(size=(3, 3))
+        b = rng.normal(size=(4, 3))
+        d = pairwise_distances(a, b)
+        assert d.shape == (3, 4)
+        assert d[1, 2] == pytest.approx(np.linalg.norm(a[1] - b[2]))
+
+    def test_all_pairs_count(self):
+        assert len(all_pairs(np.arange(5))) == 10
+
+    def test_all_pairs_sorted_tuples(self):
+        pairs = all_pairs(np.array([3, 1, 2]))
+        assert all(u < v for u, v in pairs)
+
+    def test_knn_pairs_symmetric_union(self, rng):
+        coords = rng.normal(0, 5, (10, 3))
+        ga, gb = np.arange(5), np.arange(5, 10)
+        pairs = knn_pairs(coords, ga, gb, 2)
+        assert all(u < v for u, v in pairs)
+        # every atom appears in at least one pair (it has 2 nearest links)
+        seen = {u for u, v in pairs} | {v for u, v in pairs}
+        assert seen == set(range(10))
+
+    def test_knn_k_larger_than_group(self, rng):
+        coords = rng.normal(size=(4, 3))
+        pairs = knn_pairs(coords, np.array([0, 1]), np.array([2, 3]), 99)
+        assert len(pairs) == 4  # complete bipartite, deduplicated
+
+
+class TestHelixAtoms:
+    def test_base_library_sizes(self):
+        totals = {s: b.total_atoms for s, b in BASE_LIBRARY.items()}
+        assert totals == {"A": 22, "U": 21, "G": 22, "C": 20}
+
+    def test_pair_pattern(self):
+        assert PAIR_PATTERN[0] == ("A", "U")
+        assert len(PAIR_PATTERN) == 4
+
+    @pytest.mark.parametrize(
+        "length,expected", [(1, 43), (2, 86), (4, 170), (8, 340), (16, 680)]
+    )
+    def test_table1_atom_counts_exact(self, length, expected):
+        assert helix_atom_count(length) == expected
+
+    def test_pair_sequence_repeats(self):
+        seq = pair_sequence(6)
+        assert seq[4] == seq[0] and seq[5] == seq[1]
+
+    def test_invalid_length(self):
+        with pytest.raises(HierarchyError):
+            build_helix(0)
+
+
+class TestHelixProblem:
+    @pytest.fixture(scope="class")
+    def helix4(self):
+        p = build_helix(4)
+        p.assign()
+        return p
+
+    def test_coords_shape(self, helix4):
+        assert helix4.true_coords.shape == (170, 3)
+
+    def test_constraint_rows_near_paper(self, helix4):
+        # Paper: 3294 rows for the 4-bp helix; generator must be within 5 %.
+        assert abs(helix4.n_constraint_rows - 3294) / 3294 < 0.05
+
+    def test_five_categories_present(self, helix4):
+        counts = helix4.metadata["category_counts"]
+        assert set(counts) == {1, 2, 3, 4, 5}
+        assert all(v > 0 for v in counts.values())
+
+    def test_all_constraints_are_distances(self, helix4):
+        assert all(isinstance(c, DistanceConstraint) for c in helix4.constraints)
+
+    def test_targets_match_true_geometry(self, helix4):
+        coords = helix4.true_coords
+        for c in helix4.constraints[::500]:
+            d = np.linalg.norm(coords[c.i] - coords[c.j])
+            assert c.target[0] == pytest.approx(d)
+
+    def test_hierarchy_structure_figure2(self, helix4):
+        h = helix4.hierarchy
+        # 4 bp: root, 2 sub-helices, 4 pairs, 8 bases, 16 bb/sc leaves = 31
+        assert len(h) == 31
+        assert len(h.leaves()) == 16
+        assert h.height() == 4
+
+    def test_hierarchy_valid(self, helix4):
+        helix4.hierarchy.validate()
+
+    def test_category_to_level_mapping(self, helix4):
+        """Categories 1-2 at leaves, 3 at bases, 4 at pairs, 5 above."""
+        h = helix4.hierarchy
+        counts = helix4.metadata["category_counts"]
+        rows_by_level = h.constraint_rows_by_level()
+        assert rows_by_level[4] == counts[1] + counts[2]      # leaves
+        assert rows_by_level[3] == counts[3]                  # bases
+        assert rows_by_level[2] == counts[4]                  # pairs
+        above = sum(rows_by_level.get(l, 0) for l in (0, 1))
+        assert above == counts[5]
+
+    def test_atoms_unique_overall(self, helix4):
+        atoms = helix4.hierarchy.root.atoms
+        assert np.unique(atoms).size == helix4.n_atoms
+
+    def test_no_degenerate_distances(self, helix4):
+        assert all(c.target[0] > 0.3 for c in helix4.constraints)
+
+    def test_deterministic(self):
+        a = build_helix(2)
+        b = build_helix(2)
+        assert np.array_equal(a.true_coords, b.true_coords)
+        assert a.n_constraint_rows == b.n_constraint_rows
+
+
+class TestRibosomeProblem:
+    @pytest.fixture(scope="class")
+    def ribo(self):
+        p = build_ribo30s()
+        p.assign()
+        return p
+
+    def test_paper_scale(self, ribo):
+        assert abs(ribo.n_atoms - 900) <= 10
+        assert abs(ribo.n_constraint_rows - 6500) / 6500 < 0.05
+
+    def test_protein_anchors(self, ribo):
+        anchors = [c for c in ribo.constraints if isinstance(c, PositionConstraint)]
+        assert len(anchors) == N_PROTEINS
+
+    def test_hierarchy_branching_factor_high(self, ribo):
+        """The ribo tree's root must branch more than the helix's binary
+        tree — the property behind the absence of speedup dips."""
+        assert len(ribo.hierarchy.root.children) >= N_DOMAINS
+
+    def test_domain_children_include_proteins(self, ribo):
+        domain = ribo.hierarchy.root.children[0]
+        names = {c.name for c in domain.children}
+        assert any("protein" in n for n in names)
+
+    def test_hierarchy_valid(self, ribo):
+        ribo.hierarchy.validate()
+
+    def test_deterministic_per_seed(self):
+        a = build_ribo30s(seed=1)
+        b = build_ribo30s(seed=1)
+        assert np.array_equal(a.true_coords, b.true_coords)
+
+    def test_seeds_differ(self):
+        a = build_ribo30s(seed=1)
+        b = build_ribo30s(seed=2)
+        assert not np.array_equal(a.true_coords, b.true_coords)
+
+    def test_category_counts_recorded(self, ribo):
+        counts = ribo.metadata["category_counts"]
+        assert counts["protein_anchor"] == N_PROTEINS
+        assert counts["within_segment"] > 0
+        assert counts["helix_helix_domain"] > 0
+
+    def test_cross_domain_rows_at_root(self, ribo):
+        assert ribo.hierarchy.root.n_constraint_rows > 0
+
+
+class TestProblemAndPerturb:
+    def test_initial_estimate_deterministic(self, helix2_problem):
+        a = helix2_problem.initial_estimate(7)
+        b = helix2_problem.initial_estimate(7)
+        assert np.array_equal(a.mean, b.mean)
+
+    def test_initial_estimate_displaced(self, helix2_problem):
+        est = helix2_problem.initial_estimate(0)
+        assert est.rmsd(helix2_problem.true_coords) > 0.1
+
+    def test_perturbed_estimate_prior(self):
+        est = perturbed_estimate(np.zeros((2, 3)), 0.0, 3.0, seed=0)
+        assert np.allclose(est.coords, 0.0)
+        assert np.allclose(np.diag(est.covariance), 9.0)
+
+    def test_perturb_validation(self):
+        with pytest.raises(DimensionError):
+            perturbed_estimate(np.zeros((2, 2)), 1.0, 1.0)
+        with pytest.raises(DimensionError):
+            perturbed_estimate(np.zeros((2, 3)), -1.0, 1.0)
+        with pytest.raises(DimensionError):
+            perturbed_estimate(np.zeros((2, 3)), 1.0, 0.0)
+
+    def test_state_dim(self, helix2_problem):
+        assert helix2_problem.state_dim == 3 * helix2_problem.n_atoms
+
+
+class TestSuperpose:
+    def test_recovers_rotation(self, rng):
+        coords = rng.normal(0, 2, (10, 3))
+        theta = 0.7
+        rot = np.array(
+            [
+                [np.cos(theta), -np.sin(theta), 0],
+                [np.sin(theta), np.cos(theta), 0],
+                [0, 0, 1.0],
+            ]
+        )
+        moved = coords @ rot.T + np.array([5.0, -3.0, 2.0])
+        assert superposed_rmsd(moved, coords) < 1e-10
+
+    def test_mirror_allowed(self, rng):
+        coords = rng.normal(0, 2, (10, 3))
+        mirrored = coords * np.array([-1.0, 1.0, 1.0])
+        assert superposed_rmsd(mirrored, coords) < 1e-10
+
+    def test_detects_real_difference(self, rng):
+        coords = rng.normal(0, 2, (10, 3))
+        other = coords + rng.normal(0, 1.0, coords.shape)
+        assert superposed_rmsd(other, coords) > 0.1
+
+    def test_shape_mismatch(self, rng):
+        with pytest.raises(DimensionError):
+            superpose(rng.normal(size=(3, 3)), rng.normal(size=(4, 3)))

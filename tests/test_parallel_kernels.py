@@ -1,0 +1,124 @@
+"""Tests for the row-partitioned intra-node parallel kernels (§4.1)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionError
+from repro.linalg.cholesky import cholesky_factor
+from repro.linalg.counters import OpCategory, recording
+from repro.linalg.kernels import gemm, outer_update
+from repro.linalg.parallel_kernels import MIN_STRIP_ROWS, ParallelKernels
+from repro.linalg.triangular import solve_lower, solve_upper
+
+
+def spd(rng, n):
+    a = rng.normal(size=(n, n))
+    return a @ a.T + n * np.eye(n)
+
+
+@pytest.fixture(params=[1, 2, 4])
+def kernels(request):
+    with ParallelKernels(request.param) as pk:
+        yield pk
+
+
+class TestGemm:
+    def test_bit_identical_to_serial(self, kernels, rng):
+        a = rng.normal(size=(200, 64))
+        b = rng.normal(size=(64, 48))
+        assert np.array_equal(kernels.gemm(a, b), a @ b)
+
+    def test_small_matrix_single_strip(self, kernels, rng):
+        a = rng.normal(size=(8, 8))
+        b = rng.normal(size=(8, 8))
+        with recording() as rec:
+            kernels.gemm(a, b)
+        n_strips = rec.events[0].shape[3]
+        assert n_strips == 1  # below MIN_STRIP_ROWS: no split
+
+    def test_large_matrix_splits(self, rng):
+        with ParallelKernels(4) as pk:
+            a = rng.normal(size=(4 * MIN_STRIP_ROWS, 16))
+            b = rng.normal(size=(16, 16))
+            with recording() as rec:
+                pk.gemm(a, b)
+            assert rec.events[0].shape[3] == 4
+
+    def test_flops_match_serial(self, kernels, rng):
+        a = rng.normal(size=(100, 30))
+        b = rng.normal(size=(30, 20))
+        with recording() as rec_par:
+            kernels.gemm(a, b)
+        with recording() as rec_ser:
+            gemm(a, b)
+        assert rec_par.events[0].flops == rec_ser.events[0].flops
+
+    def test_dimension_mismatch(self, kernels):
+        with pytest.raises(DimensionError):
+            kernels.gemm(np.zeros((2, 3)), np.zeros((4, 2)))
+
+
+class TestOuterUpdate:
+    def test_bit_identical_to_serial(self, kernels, rng):
+        n, m = 150, 16
+        c = spd(rng, n)
+        k = rng.normal(size=(n, m))
+        cht = rng.normal(size=(n, m))
+        assert np.array_equal(
+            kernels.outer_update(c, k, cht), outer_update(c, k, cht)
+        )
+
+    def test_category(self, kernels, rng):
+        with recording() as rec:
+            kernels.outer_update(spd(rng, 70), rng.normal(size=(70, 4)), rng.normal(size=(70, 4)))
+        assert rec.events[0].category is OpCategory.MATMAT
+
+    def test_shape_mismatch(self, kernels, rng):
+        with pytest.raises(DimensionError):
+            kernels.outer_update(spd(rng, 4), np.zeros((4, 2)), np.zeros((4, 3)))
+
+
+class TestSolveGain:
+    def test_matches_sequential_solves(self, kernels, rng):
+        m, n = 12, 200
+        s = spd(rng, m)
+        lower = cholesky_factor(s)
+        cht = rng.normal(size=(n, m))
+        k_par = kernels.solve_gain(lower, cht)
+        k_ser = solve_upper(lower.T, solve_lower(lower, cht.T)).T
+        assert np.allclose(k_par, k_ser, atol=1e-12)
+
+    def test_solves_the_system(self, kernels, rng):
+        m, n = 8, 100
+        s = spd(rng, m)
+        lower = cholesky_factor(s)
+        cht = rng.normal(size=(n, m))
+        k = kernels.solve_gain(lower, cht)
+        assert np.allclose(k @ s, cht, atol=1e-9)
+
+    def test_category_sys(self, kernels, rng):
+        s = spd(rng, 4)
+        lower = cholesky_factor(s)
+        with recording() as rec:
+            kernels.solve_gain(lower, rng.normal(size=(10, 4)))
+        assert rec.events[-1].category is OpCategory.SYSTEM
+
+    def test_shape_mismatch(self, kernels, rng):
+        with pytest.raises(DimensionError):
+            kernels.solve_gain(np.eye(3), rng.normal(size=(5, 4)))
+
+
+class TestLifecycle:
+    def test_invalid_threads(self):
+        with pytest.raises(DimensionError):
+            ParallelKernels(0)
+
+    def test_single_thread_has_no_pool(self):
+        pk = ParallelKernels(1)
+        assert pk._pool is None
+        pk.close()  # must be a no-op
+
+    def test_context_manager(self, rng):
+        with ParallelKernels(2) as pk:
+            out = pk.gemm(np.eye(4), np.eye(4))
+        assert np.allclose(out, np.eye(4))

@@ -1,0 +1,90 @@
+"""Tests for data-placement policies on distributed machines."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.machine import CHALLENGE, DASH
+from repro.machine.placement import POLICIES, remote_share, with_placement
+
+
+class TestRemoteShare:
+    def test_node_local_single_cluster_zero(self):
+        assert remote_share("node-local", (0, 4), DASH()) == 0.0
+        assert remote_share("node-local", (4, 8), DASH()) == 0.0
+
+    def test_node_local_spanning(self):
+        assert remote_share("node-local", (0, 8), DASH()) == pytest.approx(0.5)
+        assert remote_share("node-local", (0, 32), DASH()) == pytest.approx(1 - 1 / 8)
+
+    def test_global_round_robin_constant(self):
+        cfg = DASH()
+        expected = 1 - 1 / cfg.n_clusters
+        assert remote_share("global-round-robin", (0, 1), cfg) == pytest.approx(expected)
+        assert remote_share("global-round-robin", (0, 32), cfg) == pytest.approx(expected)
+
+    def test_centralized_home(self):
+        cfg = DASH()  # cluster 0 = processors 0..3
+        assert remote_share("centralized-home", (0, 4), cfg) == 0.0
+        assert remote_share("centralized-home", (4, 8), cfg) == 1.0
+        assert remote_share("centralized-home", (0, 8), cfg) == pytest.approx(0.5)
+
+    def test_centralized_memory_always_local(self):
+        for policy in POLICIES:
+            assert remote_share(policy, (0, 8), CHALLENGE()) == 0.0
+
+    def test_unknown_policy(self):
+        with pytest.raises(SimulationError, match="unknown"):
+            remote_share("magic", (0, 4), DASH())
+
+    def test_empty_range(self):
+        with pytest.raises(SimulationError):
+            remote_share("node-local", (2, 2), DASH())
+
+
+class TestWithPlacement:
+    def test_copies_and_renames(self):
+        cfg = with_placement(DASH(), "global-round-robin")
+        assert cfg.placement == "global-round-robin"
+        assert "global-round-robin" in cfg.name
+        assert cfg.rates == DASH().rates
+
+    def test_validates_policy(self):
+        with pytest.raises(SimulationError):
+            with_placement(DASH(), "nope")
+
+    def test_default_policy_is_paper(self):
+        assert DASH().placement == "node-local"
+
+
+class TestPlacementAffectsSimulation:
+    def test_round_robin_slower_at_scale(self, helix2_problem):
+        from repro.core.hier_solver import HierarchicalSolver
+        from repro.machine import simulate_solve
+
+        cycle = HierarchicalSolver(helix2_problem.hierarchy, batch_size=16).run_cycle(
+            helix2_problem.initial_estimate(0)
+        )
+        local = simulate_solve(cycle, helix2_problem.hierarchy, DASH(), 8)
+        rr = simulate_solve(
+            cycle,
+            helix2_problem.hierarchy,
+            with_placement(DASH(), "global-round-robin"),
+            8,
+        )
+        assert rr.work_time > local.work_time
+
+    def test_single_processor_unaffected(self, helix2_problem):
+        """At P=1 nothing spans and no kernel pays remote costs."""
+        from repro.core.hier_solver import HierarchicalSolver
+        from repro.machine import simulate_solve
+
+        cycle = HierarchicalSolver(helix2_problem.hierarchy, batch_size=16).run_cycle(
+            helix2_problem.initial_estimate(0)
+        )
+        times = {
+            policy: simulate_solve(
+                cycle, helix2_problem.hierarchy, with_placement(DASH(), policy), 1
+            ).work_time
+            for policy in POLICIES
+        }
+        assert len({round(t, 12) for t in times.values()}) == 1

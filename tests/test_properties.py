@@ -1,0 +1,207 @@
+"""Property-based tests over randomly generated trees and constraint sets.
+
+These are the system's load-bearing invariants, checked on structured
+random inputs rather than hand-picked cases:
+
+* flat ≡ hierarchical solving for linear measurements, on *arbitrary*
+  valid hierarchies;
+* covariance symmetry/PSD preserved by arbitrary update sequences;
+* constraint assignment is a partition and respects containment;
+* processor assignment invariants on arbitrary trees and counts;
+* combination (Figure 3) equals sequential application on random splits.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints import DistanceConstraint, LinearConstraint
+from repro.constraints.batch import ConstraintBatch, make_batches
+from repro.core.assignment import assign_processors
+from repro.core.combine import combine_estimates
+from repro.core.flat import FlatSolver
+from repro.core.hier_solver import HierarchicalSolver
+from repro.core.hierarchy import Hierarchy, HierarchyNode, assign_constraints
+from repro.core.state import StructureEstimate
+from repro.core.update import apply_batch
+from repro.core.workmodel import analytic_work_model
+
+
+# --------------------------------------------------------------- strategies
+@st.composite
+def random_tree(draw, min_atoms=4, max_atoms=20):
+    """A random valid hierarchy over a random atom count.
+
+    Built by recursively splitting a contiguous atom range into 1-3 parts.
+    """
+    n_atoms = draw(st.integers(min_atoms, max_atoms))
+
+    def build(lo: int, hi: int, depth: int) -> HierarchyNode:
+        size = hi - lo
+        if size <= 2 or depth >= 3 or draw(st.booleans()):
+            return HierarchyNode(atoms=np.arange(lo, hi, dtype=np.int64))
+        n_parts = draw(st.integers(2, min(3, size)))
+        cuts = sorted(
+            draw(
+                st.lists(
+                    st.integers(lo + 1, hi - 1),
+                    min_size=n_parts - 1,
+                    max_size=n_parts - 1,
+                    unique=True,
+                )
+            )
+        )
+        bounds = [lo, *cuts, hi]
+        children = [
+            build(a, b, depth + 1) for a, b in zip(bounds, bounds[1:]) if b > a
+        ]
+        if len(children) == 1:
+            return children[0]
+        return HierarchyNode(
+            atoms=np.concatenate([c.atoms for c in children]), children=children
+        )
+
+    root = build(0, n_atoms, 0)
+    return Hierarchy(root, n_atoms)
+
+
+@st.composite
+def linear_constraints_for(draw, n_atoms: int, max_constraints: int = 10):
+    """Random 1-2 atom linear constraints over ``n_atoms`` atoms."""
+    n_cons = draw(st.integers(1, max_constraints))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    out = []
+    for _ in range(n_cons):
+        k = draw(st.integers(1, min(2, n_atoms)))
+        atoms = tuple(
+            sorted(draw(st.lists(st.integers(0, n_atoms - 1), min_size=k, max_size=k, unique=True)))
+        )
+        a = rng.normal(size=(1, 3 * k))
+        out.append(
+            LinearConstraint(atoms, a, rng.normal(size=1), np.array([0.2 + rng.random()]))
+        )
+    return out
+
+
+# ------------------------------------------------------------------- tests
+class TestFlatHierEquivalence:
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_linear_equivalence_on_random_trees(self, data):
+        hierarchy = data.draw(random_tree())
+        constraints = data.draw(linear_constraints_for(hierarchy.n_atoms))
+        rng = np.random.default_rng(0)
+        estimate = StructureEstimate.from_coords(
+            rng.normal(0, 2, (hierarchy.n_atoms, 3)), sigma=1.0
+        )
+        flat = FlatSolver(constraints, batch_size=3).run_cycle(estimate)
+        assign_constraints(hierarchy, constraints)
+        hier = HierarchicalSolver(hierarchy, batch_size=3).run_cycle(estimate)
+        assert np.allclose(flat.estimate.mean, hier.estimate.mean, atol=1e-8)
+        assert np.allclose(
+            flat.estimate.covariance, hier.estimate.covariance, atol=1e-8
+        )
+
+
+class TestCovarianceInvariants:
+    @given(seed=st.integers(0, 10_000), n_updates=st.integers(1, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_psd_and_symmetry_preserved(self, seed, n_updates):
+        rng = np.random.default_rng(seed)
+        p = 4
+        estimate = StructureEstimate.from_coords(rng.normal(0, 2, (p, 3)), sigma=1.5)
+        for _ in range(n_updates):
+            i, j = rng.choice(p, size=2, replace=False)
+            c = DistanceConstraint(
+                int(i), int(j), float(rng.uniform(0.5, 5.0)), float(rng.uniform(0.01, 1.0))
+            )
+            estimate = apply_batch(estimate, ConstraintBatch((c,)))
+            cov = estimate.covariance
+            assert np.allclose(cov, cov.T, atol=1e-10)
+            eigs = np.linalg.eigvalsh(cov)
+            assert eigs.min() > -1e-8
+            # variance of every coordinate stays within the prior
+            assert np.all(np.diag(cov) <= 1.5**2 + 1e-9)
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_batched_equals_sequential_linear(self, seed):
+        rng = np.random.default_rng(seed)
+        estimate = StructureEstimate.from_coords(rng.normal(0, 1, (3, 3)), sigma=1.0)
+        cons = []
+        for _ in range(5):
+            a = rng.normal(size=(1, 6))
+            cons.append(
+                LinearConstraint((0, 2), a, rng.normal(size=1), np.array([0.3]))
+            )
+        all_at_once = apply_batch(estimate, ConstraintBatch(tuple(cons)))
+        one_by_one = estimate
+        for b in make_batches(cons, 1):
+            one_by_one = apply_batch(one_by_one, b)
+        assert np.allclose(all_at_once.mean, one_by_one.mean, atol=1e-8)
+        assert np.allclose(
+            all_at_once.covariance, one_by_one.covariance, atol=1e-8
+        )
+
+
+class TestAssignmentProperties:
+    @given(data=st.data(), p=st.integers(1, 12))
+    @settings(max_examples=25, deadline=None)
+    def test_assignment_invariants_on_random_trees(self, data, p):
+        hierarchy = data.draw(random_tree())
+        constraints = data.draw(linear_constraints_for(hierarchy.n_atoms))
+        assign_constraints(hierarchy, constraints)
+        asg = assign_processors(hierarchy, p, analytic_work_model())
+        asg.validate(hierarchy)  # nesting, counts, bounds
+        # Root always holds every processor; leaves hold at least one.
+        assert asg.procs[hierarchy.root.nid] == p
+        for leaf in hierarchy.leaves():
+            assert asg.procs[leaf.nid] >= 1
+
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_constraint_assignment_is_partition(self, data):
+        hierarchy = data.draw(random_tree())
+        constraints = data.draw(linear_constraints_for(hierarchy.n_atoms))
+        assign_constraints(hierarchy, constraints)
+        assigned = [c for node in hierarchy.nodes for c in node.constraints]
+        assert sorted(map(id, assigned)) == sorted(map(id, constraints))
+        # containment: every constraint's atoms inside its node's atom set
+        for node in hierarchy.nodes:
+            atom_set = set(node.atoms.tolist())
+            for c in node.constraints:
+                assert set(c.atoms) <= atom_set
+        # minimality: no single child contains the constraint entirely
+        for node in hierarchy.nodes:
+            for c in node.constraints:
+                for child in node.children:
+                    assert not set(c.atoms) <= set(child.atoms.tolist())
+
+
+class TestCombineProperties:
+    @given(seed=st.integers(0, 10_000), split=st.integers(1, 4))
+    @settings(max_examples=20, deadline=None)
+    def test_combine_equals_sequential_on_random_splits(self, seed, split):
+        rng = np.random.default_rng(seed)
+        prior = StructureEstimate.from_coords(rng.normal(0, 1, (2, 3)), sigma=1.0)
+        cons = []
+        for _ in range(5):
+            a = rng.normal(size=(1, 6))
+            cons.append(
+                LinearConstraint((0, 1), a, rng.normal(size=1), np.array([0.4]))
+            )
+        set1, set2 = cons[:split], cons[split:]
+        post1 = apply_batch(prior, ConstraintBatch(tuple(set1)))
+        post2 = (
+            apply_batch(prior, ConstraintBatch(tuple(set2))) if set2 else prior.copy()
+        )
+        combined = combine_estimates(prior, post1, post2)
+        sequential = (
+            apply_batch(post1, ConstraintBatch(tuple(set2))) if set2 else post1
+        )
+        assert np.allclose(combined.mean, sequential.mean, atol=1e-7)
+        assert np.allclose(combined.covariance, sequential.covariance, atol=1e-7)

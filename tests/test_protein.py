@@ -1,0 +1,111 @@
+"""Tests for the protein workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.core.hier_solver import HierarchicalSolver
+from repro.core.update import UpdateOptions
+from repro.errors import HierarchyError
+from repro.molecules.protein import (
+    DEFAULT_ELEMENTS,
+    SIDECHAIN_SIZES,
+    SecondaryElement,
+    build_protein,
+)
+from repro.molecules.superpose import superposed_rmsd
+
+
+@pytest.fixture(scope="module")
+def protein():
+    p = build_protein()
+    p.assign()
+    return p
+
+
+class TestGeneration:
+    def test_residue_count(self, protein):
+        assert protein.metadata["n_residues"] == sum(e.n_residues for e in DEFAULT_ELEMENTS)
+
+    def test_atoms_match_composition(self, protein):
+        from repro.molecules.protein import BACKBONE_ATOMS, RESIDUE_CYCLE
+
+        n_res = protein.metadata["n_residues"]
+        expected = sum(
+            BACKBONE_ATOMS + SIDECHAIN_SIZES[RESIDUE_CYCLE[r % len(RESIDUE_CYCLE)]]
+            for r in range(n_res)
+        )
+        assert protein.n_atoms == expected
+
+    def test_hierarchy_three_levels(self, protein):
+        assert protein.hierarchy.height() == 2
+        assert len(protein.hierarchy.root.children) == len(DEFAULT_ELEMENTS)
+
+    def test_leaves_are_residues(self, protein):
+        assert len(protein.hierarchy.leaves()) == protein.metadata["n_residues"]
+
+    def test_most_constraints_local(self, protein):
+        assert protein.hierarchy.leaf_constraint_fraction() > 0.35
+
+    def test_deterministic(self):
+        a, b = build_protein(seed=3), build_protein(seed=3)
+        assert np.array_equal(a.true_coords, b.true_coords)
+
+    def test_custom_elements(self):
+        p = build_protein(elements=(SecondaryElement("helix", 5),))
+        assert p.metadata["n_elements"] == 1
+        assert p.metadata["n_residues"] == 5
+
+    def test_empty_elements_rejected(self):
+        with pytest.raises(HierarchyError):
+            build_protein(elements=())
+
+    def test_targets_match_geometry(self, protein):
+        coords = protein.true_coords
+        for c in protein.constraints[::50]:
+            d = np.linalg.norm(coords[c.i] - coords[c.j])
+            assert c.target[0] == pytest.approx(d)
+
+    def test_recommended_options_present(self, protein):
+        assert protein.metadata["recommended_options"] == {"local_iterations": 2}
+
+
+class TestSolving:
+    def test_iterated_annealed_solve_converges(self, protein):
+        options = UpdateOptions(local_iterations=2)
+        solver = HierarchicalSolver(protein.hierarchy, batch_size=16, options=options)
+        est = protein.initial_estimate(0)
+        report = solver.solve(
+            est,
+            max_cycles=16,
+            tol=1e-3,
+            gauge_invariant=True,
+            anneal=protein.metadata["recommended_anneal"],
+        )
+        coords = report.estimate.coords
+        residuals = [abs(c.residual(coords)[0]) for c in protein.constraints]
+        assert float(np.mean(residuals)) < 0.05
+
+    def test_local_shape_recovered_per_element(self, protein):
+        """The protein's global shape is deliberately under-determined (few
+        loose element contacts — the realistic NOE regime), so the honest
+        success criterion is *local*: each secondary-structure element's
+        internal shape must be recovered nearly exactly."""
+        options = UpdateOptions(local_iterations=2)
+        solver = HierarchicalSolver(protein.hierarchy, batch_size=16, options=options)
+        est = protein.initial_estimate(0)
+        report = solver.solve(
+            est,
+            max_cycles=16,
+            tol=1e-3,
+            gauge_invariant=True,
+            anneal=protein.metadata["recommended_anneal"],
+        )
+        for element in protein.hierarchy.root.children:
+            atoms = element.atoms
+            before = superposed_rmsd(
+                est.coords[atoms], protein.true_coords[atoms]
+            )
+            after = superposed_rmsd(
+                report.estimate.coords[atoms], protein.true_coords[atoms]
+            )
+            assert after < max(0.65 * before, 0.1), element.name

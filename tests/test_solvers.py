@@ -1,0 +1,143 @@
+"""Tests for the flat and hierarchical solvers, including equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.constraints import DistanceConstraint
+from repro.core.flat import FlatSolver
+from repro.core.hier_solver import HierarchicalSolver
+from repro.core.hierarchy import Hierarchy, HierarchyNode, assign_constraints
+from repro.core.state import StructureEstimate
+from repro.errors import HierarchyError
+from repro.linalg import recording
+
+
+class TestFlatSolver:
+    def test_converges_square(self, square_constraints, square_estimate, square_coords):
+        solver = FlatSolver(square_constraints, batch_size=4)
+        report = solver.solve(square_estimate, max_cycles=200, tol=1e-4)
+        assert report.converged
+        assert report.estimate.rmsd(square_coords) < 0.15
+
+    def test_cycle_reduces_uncertainty(self, square_constraints, square_estimate):
+        solver = FlatSolver(square_constraints, batch_size=4)
+        res = solver.run_cycle(square_estimate)
+        assert res.estimate.atom_uncertainty().mean() < square_estimate.atom_uncertainty().mean()
+
+    def test_row_count(self, square_constraints):
+        solver = FlatSolver(square_constraints, batch_size=4)
+        # 2 position constraints (3 rows each) + 5 distances
+        assert solver.n_constraint_rows == 11
+
+    def test_seconds_per_constraint(self, square_constraints, square_estimate):
+        res = FlatSolver(square_constraints, batch_size=4).run_cycle(square_estimate)
+        assert res.seconds_per_constraint == pytest.approx(res.seconds / 11)
+
+    def test_uses_outer_recorder(self, square_constraints, square_estimate):
+        solver = FlatSolver(square_constraints, batch_size=4)
+        with recording() as rec:
+            res = solver.run_cycle(square_estimate)
+        assert res.recorder is rec
+        assert len(rec.events) > 0
+
+    def test_batch_size_affects_batch_count(self, square_constraints):
+        assert len(FlatSolver(square_constraints, batch_size=1).batches) > len(
+            FlatSolver(square_constraints, batch_size=16).batches
+        )
+
+
+class TestHierarchicalSolver:
+    def test_exact_match_with_flat_linear(self, two_group_problem):
+        coords, constraints, hierarchy, estimate = two_group_problem
+        flat = FlatSolver(constraints, batch_size=4).run_cycle(estimate)
+        assign_constraints(hierarchy, constraints)
+        hier = HierarchicalSolver(hierarchy, batch_size=4).run_cycle(estimate)
+        assert np.allclose(flat.estimate.mean, hier.estimate.mean, atol=1e-12)
+        assert np.allclose(flat.estimate.covariance, hier.estimate.covariance, atol=1e-12)
+
+    def test_close_match_with_flat_nonlinear(self, helix2_problem):
+        """Nonlinear constraints linearize at different points under the two
+        orders and the helix has no absolute anchors (gauge freedom), so we
+        compare the gauge-invariant quantity: mean constraint residual after
+        one cycle must improve similarly under both organizations."""
+        problem = helix2_problem
+        estimate = problem.initial_estimate(0)
+        flat = FlatSolver(problem.constraints, batch_size=16).run_cycle(estimate)
+        hier = HierarchicalSolver(problem.hierarchy, batch_size=16).run_cycle(estimate)
+
+        def mean_residual(est):
+            coords = est.coords
+            return np.mean([abs(c.residual(coords)[0]) for c in problem.constraints])
+
+        initial = mean_residual(estimate)
+        res_flat = mean_residual(flat.estimate)
+        res_hier = mean_residual(hier.estimate)
+        assert res_flat < initial and res_hier < initial
+        assert 0.5 < res_flat / res_hier < 2.0
+
+    def test_records_cover_all_nodes(self, helix2_problem):
+        problem = helix2_problem
+        res = HierarchicalSolver(problem.hierarchy, batch_size=16).run_cycle(
+            problem.initial_estimate(0)
+        )
+        assert {r.nid for r in res.records} == {n.nid for n in problem.hierarchy.nodes}
+
+    def test_events_tagged_by_node(self, helix2_problem):
+        problem = helix2_problem
+        res = HierarchicalSolver(problem.hierarchy, batch_size=16).run_cycle(
+            problem.initial_estimate(0)
+        )
+        for record in res.records:
+            assert all(e.tag == record.nid for e in record.events)
+
+    def test_node_with_constraints_has_events(self, helix2_problem):
+        problem = helix2_problem
+        res = HierarchicalSolver(problem.hierarchy, batch_size=16).run_cycle(
+            problem.initial_estimate(0)
+        )
+        for record in res.records:
+            node = problem.hierarchy.node(record.nid)
+            if node.n_constraint_rows > 0:
+                assert record.events
+            assert record.flops >= 0
+
+    def test_estimate_size_mismatch_rejected(self, helix2_problem):
+        problem = helix2_problem
+        wrong = StructureEstimate.from_coords(np.zeros((3, 3)), sigma=1.0)
+        with pytest.raises(HierarchyError, match="atoms"):
+            HierarchicalSolver(problem.hierarchy).run_cycle(wrong)
+
+    def test_solve_reduces_superposed_rmsd(self, helix2_problem):
+        from repro.molecules.superpose import superposed_rmsd
+
+        problem = helix2_problem
+        estimate = problem.initial_estimate(3)
+        before = superposed_rmsd(estimate.coords, problem.true_coords)
+        solver = HierarchicalSolver(problem.hierarchy, batch_size=16)
+        report = solver.solve(estimate, max_cycles=10, tol=1e-6)
+        after = superposed_rmsd(report.estimate.coords, problem.true_coords)
+        assert after < 0.5 * before
+
+    def test_unconstrained_node_passthrough(self, rng):
+        """A parent with no own constraints must pass its children through."""
+        left = HierarchyNode(atoms=np.array([0, 1]), name="L")
+        right = HierarchyNode(atoms=np.array([2, 3]), name="R")
+        root = HierarchyNode(atoms=np.arange(4), children=[left, right])
+        h = Hierarchy(root, 4)
+        cons = [DistanceConstraint(0, 1, 2.0, 0.1), DistanceConstraint(2, 3, 2.0, 0.1)]
+        assign_constraints(h, cons)
+        est = StructureEstimate.from_coords(rng.normal(0, 1, (4, 3)), sigma=1.0)
+        res = HierarchicalSolver(h, batch_size=4).run_cycle(est)
+        root_record = [r for r in res.records if r.nid == root.nid][0]
+        assert root_record.n_batches == 0
+        assert not root_record.events
+
+    def test_hierarchical_cheaper_than_flat(self, helix2_problem):
+        """The core Table 1 claim at small scale: fewer FLOPs via hierarchy."""
+        problem = helix2_problem
+        estimate = problem.initial_estimate(0)
+        with recording() as rec_flat:
+            FlatSolver(problem.constraints, batch_size=16).run_cycle(estimate)
+        with recording() as rec_hier:
+            HierarchicalSolver(problem.hierarchy, batch_size=16).run_cycle(estimate)
+        assert rec_hier.total_flops() < rec_flat.total_flops()

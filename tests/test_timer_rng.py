@@ -1,0 +1,74 @@
+"""Tests for repro.util.timer and repro.util.rng."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import make_rng
+from repro.util.timer import Timer, WallClock
+
+
+class FakeClock(WallClock):
+    def __init__(self):
+        self.t = 0.0
+
+    def now(self):
+        return self.t
+
+
+class TestTimer:
+    def test_accumulates_regions(self):
+        clock = FakeClock()
+        timer = Timer(clock=clock)
+        with timer:
+            clock.t = 2.0
+        with timer:
+            clock.t = 5.0
+        assert timer.elapsed == pytest.approx(5.0)
+
+    def test_nested_regions_rejected(self):
+        timer = Timer(clock=FakeClock())
+        with timer:
+            with pytest.raises(RuntimeError, match="nested"):
+                timer.__enter__()
+            timer._start = 0.0  # restore so __exit__ is consistent
+
+    def test_reset(self):
+        clock = FakeClock()
+        timer = Timer(clock=clock)
+        with timer:
+            clock.t = 1.0
+        timer.reset()
+        assert timer.elapsed == 0.0
+
+    def test_reset_while_running_rejected(self):
+        timer = Timer(clock=FakeClock())
+        with timer:
+            with pytest.raises(RuntimeError, match="running"):
+                timer.reset()
+
+    def test_real_clock_monotone(self):
+        timer = Timer()
+        with timer:
+            pass
+        assert timer.elapsed >= 0.0
+
+
+class TestMakeRng:
+    def test_none_is_deterministic(self):
+        a = make_rng(None).normal(size=5)
+        b = make_rng(None).normal(size=5)
+        assert np.array_equal(a, b)
+
+    def test_seed_reproducible(self):
+        assert np.array_equal(
+            make_rng(42).normal(size=3), make_rng(42).normal(size=3)
+        )
+
+    def test_different_seeds_differ(self):
+        assert not np.array_equal(
+            make_rng(1).normal(size=3), make_rng(2).normal(size=3)
+        )
+
+    def test_generator_passthrough(self):
+        g = np.random.default_rng(7)
+        assert make_rng(g) is g

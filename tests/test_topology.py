@@ -1,0 +1,109 @@
+"""Tests for the mesh interconnect topology model."""
+
+import pytest
+from dataclasses import replace
+
+from repro.errors import SimulationError
+from repro.machine import DASH, simulate_solve
+from repro.machine.topology import (
+    average_remote_hops,
+    clusters_of_range,
+    hop_cost_multiplier,
+    hop_distance,
+    mesh_coords,
+    mesh_shape,
+)
+
+
+class TestMeshGeometry:
+    def test_shape_most_square(self):
+        assert mesh_shape(8) == (2, 4)
+        assert mesh_shape(16) == (4, 4)
+        assert mesh_shape(4) == (2, 2)
+        assert mesh_shape(1) == (1, 1)
+        assert mesh_shape(7) == (1, 7)
+
+    def test_invalid_shape(self):
+        with pytest.raises(SimulationError):
+            mesh_shape(0)
+
+    def test_coords_row_major(self):
+        assert mesh_coords(0, (2, 4)) == (0, 0)
+        assert mesh_coords(3, (2, 4)) == (0, 3)
+        assert mesh_coords(4, (2, 4)) == (1, 0)
+        assert mesh_coords(7, (2, 4)) == (1, 3)
+
+    def test_coords_out_of_range(self):
+        with pytest.raises(SimulationError):
+            mesh_coords(8, (2, 4))
+
+    def test_hop_distance_manhattan(self):
+        shape = (2, 4)
+        assert hop_distance(0, 0, shape) == 0
+        assert hop_distance(0, 1, shape) == 1
+        assert hop_distance(0, 4, shape) == 1
+        assert hop_distance(0, 7, shape) == 4
+        assert hop_distance(3, 4, shape) == 4
+
+    def test_hop_symmetric(self):
+        shape = mesh_shape(8)
+        for a in range(8):
+            for b in range(8):
+                assert hop_distance(a, b, shape) == hop_distance(b, a, shape)
+
+
+class TestGroupHops:
+    def test_clusters_of_range(self):
+        assert clusters_of_range((0, 4), 4) == [0]
+        assert clusters_of_range((0, 8), 4) == [0, 1]
+        assert clusters_of_range((2, 6), 4) == [0, 1]
+        assert clusters_of_range((0, 32), 4) == list(range(8))
+
+    def test_single_cluster_no_remote_hops(self):
+        assert average_remote_hops((0, 4), 4, 8) == 0.0
+
+    def test_adjacent_pair_one_hop(self):
+        assert average_remote_hops((0, 8), 4, 8) == pytest.approx(1.0)
+
+    def test_hops_grow_with_span(self):
+        small = average_remote_hops((0, 8), 4, 8)
+        large = average_remote_hops((0, 32), 4, 8)
+        assert large > small
+
+    def test_multiplier_floor(self):
+        assert hop_cost_multiplier((0, 8), 4, 8, 0.5) == 1.0
+
+    def test_multiplier_grows(self):
+        full = hop_cost_multiplier((0, 32), 4, 8, 0.5)
+        assert full > 1.0
+
+    def test_zero_penalty_is_uniform(self):
+        assert hop_cost_multiplier((0, 32), 4, 8, 0.0) == 1.0
+
+
+class TestMeshSimulation:
+    def test_mesh_slower_than_uniform_at_scale(self, helix2_problem):
+        from repro.core.hier_solver import HierarchicalSolver
+
+        cycle = HierarchicalSolver(helix2_problem.hierarchy, batch_size=16).run_cycle(
+            helix2_problem.initial_estimate(0)
+        )
+        uniform = simulate_solve(cycle, helix2_problem.hierarchy, DASH(), 32)
+        mesh_cfg = replace(DASH(), topology="mesh", name="DASH-mesh")
+        mesh = simulate_solve(cycle, helix2_problem.hierarchy, mesh_cfg, 32)
+        assert mesh.work_time > uniform.work_time
+
+    def test_mesh_identical_at_one_processor(self, helix2_problem):
+        from repro.core.hier_solver import HierarchicalSolver
+
+        cycle = HierarchicalSolver(helix2_problem.hierarchy, batch_size=16).run_cycle(
+            helix2_problem.initial_estimate(0)
+        )
+        uniform = simulate_solve(cycle, helix2_problem.hierarchy, DASH(), 1)
+        mesh_cfg = replace(DASH(), topology="mesh", name="DASH-mesh")
+        mesh = simulate_solve(cycle, helix2_problem.hierarchy, mesh_cfg, 1)
+        assert mesh.work_time == pytest.approx(uniform.work_time)
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(SimulationError, match="topology"):
+            replace(DASH(), topology="torus")

@@ -1,0 +1,112 @@
+"""Tests for repro.util.validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DimensionError
+from repro.util.validation import (
+    as_matrix,
+    as_vector,
+    check_square,
+    check_symmetric,
+    require,
+    symmetrize,
+)
+
+
+class TestRequire:
+    def test_passes_silently(self):
+        require(True, "never raised")
+
+    def test_raises_default(self):
+        with pytest.raises(DimensionError, match="boom"):
+            require(False, "boom")
+
+    def test_raises_custom_exception(self):
+        with pytest.raises(ValueError, match="custom"):
+            require(False, "custom", ValueError)
+
+
+class TestAsVector:
+    def test_coerces_list(self):
+        v = as_vector([1, 2, 3])
+        assert v.dtype == np.float64
+        assert v.shape == (3,)
+
+    def test_rejects_matrix(self):
+        with pytest.raises(DimensionError, match="1-D"):
+            as_vector(np.zeros((2, 2)))
+
+    def test_size_check(self):
+        with pytest.raises(DimensionError, match="length 4"):
+            as_vector([1.0, 2.0], size=4)
+
+    def test_size_ok(self):
+        assert as_vector([1.0, 2.0], size=2).shape == (2,)
+
+    def test_contiguous(self):
+        v = as_vector(np.arange(10.0)[::2])
+        assert v.flags["C_CONTIGUOUS"]
+
+
+class TestAsMatrix:
+    def test_coerces_nested_list(self):
+        m = as_matrix([[1, 2], [3, 4]])
+        assert m.shape == (2, 2)
+
+    def test_rejects_vector(self):
+        with pytest.raises(DimensionError, match="2-D"):
+            as_matrix(np.zeros(3))
+
+    def test_row_check(self):
+        with pytest.raises(DimensionError, match="rows"):
+            as_matrix(np.zeros((2, 3)), shape=(3, None))
+
+    def test_col_check(self):
+        with pytest.raises(DimensionError, match="columns"):
+            as_matrix(np.zeros((2, 3)), shape=(None, 2))
+
+    def test_partial_shape_ok(self):
+        assert as_matrix(np.zeros((2, 3)), shape=(2, None)).shape == (2, 3)
+
+
+class TestCheckSquare:
+    def test_accepts_square(self):
+        assert check_square(np.eye(3)).shape == (3, 3)
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(DimensionError, match="square"):
+            check_square(np.zeros((2, 3)))
+
+
+class TestCheckSymmetric:
+    def test_accepts_symmetric(self):
+        a = np.array([[2.0, 1.0], [1.0, 3.0]])
+        check_symmetric(a)
+
+    def test_rejects_asymmetric(self):
+        a = np.array([[0.0, 1.0], [0.0, 0.0]])
+        with pytest.raises(DimensionError, match="symmetric"):
+            check_symmetric(a)
+
+    def test_tolerance_is_relative(self):
+        a = np.array([[1e12, 1.0], [0.0, 1e12]])
+        check_symmetric(a, tol=1e-8)  # 1.0 asymmetry is tiny next to 1e12
+
+    def test_empty_matrix(self):
+        check_symmetric(np.zeros((0, 0)))
+
+
+class TestSymmetrize:
+    def test_result_is_symmetric(self):
+        a = np.random.default_rng(0).normal(size=(5, 5))
+        s = symmetrize(a)
+        assert np.allclose(s, s.T)
+
+    def test_preserves_symmetric_input(self):
+        a = np.array([[2.0, 1.0], [1.0, 3.0]])
+        assert np.allclose(symmetrize(a), a)
+
+    def test_average_of_transposes(self):
+        a = np.array([[0.0, 2.0], [0.0, 0.0]])
+        assert np.allclose(symmetrize(a), [[0.0, 1.0], [1.0, 0.0]])
