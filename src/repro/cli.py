@@ -75,9 +75,12 @@ def _parse_anneal(text: str | None) -> tuple[float, float] | None:
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
+    import contextlib
+
     from repro import io as rio
     from repro.core.estimator import StructureEstimator
     from repro.core.update import UpdateOptions
+    from repro.faults import FaultConfig, FaultInjector, fault_injection
 
     problem = rio.load_problem(args.problem)
     decomposition = (
@@ -88,15 +91,27 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         problem.constraints,
         decomposition=decomposition,
         batch_size=args.batch,
-        options=UpdateOptions(local_iterations=args.local_iterations),
+        options=UpdateOptions(
+            local_iterations=args.local_iterations, max_retries=args.max_retries
+        ),
+        checkpoint_dir=args.checkpoint_dir,
     )
     initial = problem.initial_estimate(args.seed)
-    solution = estimator.solve(
-        initial,
-        max_cycles=args.cycles,
-        tol=args.tol,
-        anneal=_parse_anneal(args.anneal),
-    )
+    injector = None
+    scope = contextlib.nullcontext()
+    if args.faults:
+        try:
+            injector = FaultInjector(FaultConfig.parse(args.faults))
+        except ValueError as exc:
+            raise SystemExit(f"--faults: {exc}") from exc
+        scope = fault_injection(injector)
+    with scope:
+        solution = estimator.solve(
+            initial,
+            max_cycles=args.cycles,
+            tol=args.tol,
+            anneal=_parse_anneal(args.anneal),
+        )
     report = solution.report
     print(
         f"{'converged' if report.converged else 'stopped'} after {report.cycles} "
@@ -106,6 +121,18 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     residuals = [float(np.abs(c.residual(coords)).mean()) for c in problem.constraints]
     print(f"mean |residual|: {float(np.mean(residuals)):.4f}")
     print(f"mean atom uncertainty: {solution.estimate.atom_uncertainty().mean():.3f}")
+    if report.retries or report.quarantine:
+        recovered = sum(1 for r in report.retries if r.succeeded)
+        print(
+            f"recovered batch updates: {recovered}; quarantined "
+            f"constraints: {report.quarantined_constraints} "
+            f"({report.quarantined_rows} rows)"
+        )
+    if injector is not None:
+        injected = {
+            ch: c["injected"] for ch, c in injector.summary().items() if c["injected"]
+        }
+        print(f"injected faults: {injected if injected else 'none'}")
     if args.out:
         rio.save_estimate(args.out, solution.estimate)
         print(f"wrote estimate to {args.out}")
@@ -164,6 +191,23 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--anneal", default=None, help="start,decay (e.g. 100,0.5)")
     solve.add_argument("--seed", type=int, default=0)
     solve.add_argument("--out", default=None)
+    solve.add_argument(
+        "--faults",
+        default=None,
+        help="fault-injection spec, e.g. 'crash=0.05,nan=0.02,seed=7' "
+        "(channels: nan, chol, corrupt, crash, slow; see docs/robustness.md)",
+    )
+    solve.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="directory for per-node checkpoint/resume of the hierarchical solve",
+    )
+    solve.add_argument(
+        "--max-retries",
+        type=int,
+        default=8,
+        help="regularization retries per batch before it is quarantined",
+    )
     solve.set_defaults(fn=_cmd_solve)
 
     sim = sub.add_parser("simulate", help="price a cycle on a modeled machine")

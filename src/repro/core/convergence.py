@@ -36,12 +36,31 @@ class ConvergenceReport:
         constraint orders drive this down.
     converged:
         Whether ``deltas[-1] <= tol``.
+    quarantine:
+        :class:`~repro.faults.QuarantineRecord` entries for constraint
+        batches excluded after terminal update failure, across all cycles
+        (empty for a clean solve).
+    retries:
+        :class:`~repro.faults.RetryReport` entries for every batch update
+        that needed at least one regularization retry.
     """
 
     estimate: StructureEstimate
     cycles: int
     deltas: list[float] = field(default_factory=list)
     converged: bool = False
+    quarantine: list = field(default_factory=list)
+    retries: list = field(default_factory=list)
+
+    @property
+    def quarantined_constraints(self) -> int:
+        """Total constraints quarantined over the whole solve."""
+        return sum(q.n_constraints for q in self.quarantine)
+
+    @property
+    def quarantined_rows(self) -> int:
+        """Total scalar constraint rows quarantined over the whole solve."""
+        return sum(q.n_rows for q in self.quarantine)
 
     def cycles_to(self, threshold: float) -> int | None:
         """First cycle index (1-based) whose delta fell below ``threshold``."""

@@ -15,6 +15,7 @@ convergence loop — behind a scikit-style interface:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Sequence
 
 import numpy as np
@@ -46,6 +47,11 @@ class Solution:
     def converged(self) -> bool:
         return self.report.converged
 
+    @property
+    def quarantined_constraints(self) -> int:
+        """Constraints excluded after terminal update failure (0 = clean)."""
+        return self.report.quarantined_constraints
+
 
 class StructureEstimator:
     """Estimate a structure from uncertain measurements.
@@ -68,7 +74,14 @@ class StructureEstimator:
     max_leaf_atoms:
         Leaf granularity for the automatic decomposers.
     options:
-        Per-batch update options (Joseph form, local iterations, ...).
+        Per-batch update options (Joseph form, local iterations, retry
+        policy, ...).
+    checkpoint_dir:
+        Optional directory for per-node checkpoint/resume of the
+        hierarchical solve (see :mod:`repro.faults.checkpoint`).  A solve
+        killed mid-cycle and re-run against the same directory resumes
+        from its last completed post-order node.  Ignored by the flat
+        decomposition (a single monolithic node has nothing to resume).
     """
 
     def __init__(
@@ -79,6 +92,7 @@ class StructureEstimator:
         batch_size: int = 16,
         max_leaf_atoms: int = 16,
         options: UpdateOptions = UpdateOptions(),
+        checkpoint_dir: str | Path | None = None,
     ):
         if n_atoms < 1:
             raise HierarchyError("need at least one atom")
@@ -92,6 +106,7 @@ class StructureEstimator:
         self.batch_size = int(batch_size)
         self.max_leaf_atoms = int(max_leaf_atoms)
         self.options = options
+        self.checkpoint_dir = checkpoint_dir
         self._decomposition = decomposition
         self.hierarchy: Hierarchy | None = (
             decomposition if isinstance(decomposition, Hierarchy) else None
@@ -150,7 +165,14 @@ class StructureEstimator:
             solver = FlatSolver(self.constraints, self.batch_size, self.options)
         else:
             assign_constraints(hierarchy, self.constraints)
-            solver = HierarchicalSolver(hierarchy, self.batch_size, self.options)
+            checkpoint = None
+            if self.checkpoint_dir is not None:
+                from repro.faults.checkpoint import CheckpointManager
+
+                checkpoint = CheckpointManager(self.checkpoint_dir)
+            solver = HierarchicalSolver(
+                hierarchy, self.batch_size, self.options, checkpoint=checkpoint
+            )
         report = solver.solve(
             estimate,
             max_cycles=max_cycles,

@@ -17,6 +17,8 @@ from repro.constraints.base import Constraint
 from repro.constraints.batch import make_batches
 from repro.core.state import StructureEstimate
 from repro.core.update import UpdateOptions, apply_batch
+from repro.errors import BatchUpdateError
+from repro.faults.report import QuarantineRecord, RetryReport
 from repro.linalg.counters import Recorder, current_recorder, recording
 from repro.util.timer import Timer
 
@@ -29,6 +31,8 @@ class FlatCycleResult:
     seconds: float
     recorder: Recorder
     n_constraint_rows: int
+    quarantined: tuple[QuarantineRecord, ...] = ()
+    retries: tuple[RetryReport, ...] = ()
 
     @property
     def seconds_per_constraint(self) -> float:
@@ -71,14 +75,35 @@ class FlatSolver:
         opts = options if options is not None else self.options
         outer = current_recorder()
         rec = outer if outer is not None else Recorder()
+        quarantined: list[QuarantineRecord] = []
+        retries: list[RetryReport] = []
         timer = Timer()
         with recording(rec):
             with timer:
                 current = estimate
                 with rec.tagged("flat"):
                     for batch in self.batches:
-                        current = apply_batch(current, batch, None, opts)
-        return FlatCycleResult(current, timer.elapsed, rec, self.n_constraint_rows)
+                        try:
+                            current = apply_batch(
+                                current, batch, None, opts, retry_log=retries
+                            )
+                        except BatchUpdateError as exc:
+                            quarantined.append(
+                                QuarantineRecord(
+                                    nid="flat",
+                                    n_constraints=len(batch.constraints),
+                                    n_rows=batch.dimension,
+                                    reason=str(exc),
+                                )
+                            )
+        return FlatCycleResult(
+            current,
+            timer.elapsed,
+            rec,
+            self.n_constraint_rows,
+            quarantined=tuple(quarantined),
+            retries=tuple(retries),
+        )
 
     def solve(
         self,
@@ -98,14 +123,25 @@ class FlatSolver:
 
         from repro.core.convergence import solve_with_annealing
 
-        return solve_with_annealing(
-            lambda est, scale: self.run_cycle(
-                est,
-                replace(self.options, noise_scale=self.options.noise_scale * scale),
-            ).estimate,
+        quarantine: list[QuarantineRecord] = []
+        retries: list[RetryReport] = []
+
+        def runner(est: StructureEstimate, scale: float) -> StructureEstimate:
+            result = self.run_cycle(
+                est, replace(self.options, noise_scale=self.options.noise_scale * scale)
+            )
+            quarantine.extend(result.quarantined)
+            retries.extend(result.retries)
+            return result.estimate
+
+        report = solve_with_annealing(
+            runner,
             estimate,
             max_cycles,
             tol,
             gauge_invariant=gauge_invariant,
             anneal=anneal,
         )
+        report.quarantine = quarantine
+        report.retries = retries
+        return report

@@ -9,11 +9,21 @@ root's posterior is the full-structure estimate.
 Each node's kernel events are tagged with the node id, producing the
 per-node work profile the machine simulator and the processor-assignment
 heuristic consume.
+
+Robustness (see ``docs/robustness.md``): the solver optionally writes a
+per-node checkpoint after every completed post-order node, so a killed
+cycle resumes from its last completed node; batches whose updates fail
+terminally (after the escalating-regularization retries inside
+:func:`repro.core.update.apply_batch`) are quarantined and reported
+instead of aborting the solve; and injected node crashes are absorbed by
+a bounded node-level restart, modeling a supervisor restarting a dead
+subtree worker.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -21,9 +31,14 @@ from repro.constraints.batch import make_batches
 from repro.core.hierarchy import Hierarchy, HierarchyNode
 from repro.core.state import StructureEstimate
 from repro.core.update import UpdateOptions, apply_batch
-from repro.errors import HierarchyError
+from repro.errors import BatchUpdateError, HierarchyError, WorkerCrashError
+from repro.faults.injector import current_injector
+from repro.faults.report import QuarantineRecord, RetryReport
 from repro.linalg.counters import KernelEvent, Recorder, current_recorder, recording
 from repro.util.timer import Timer
+
+if TYPE_CHECKING:
+    from repro.faults.checkpoint import CheckpointManager
 
 
 @dataclass
@@ -53,6 +68,10 @@ class HierCycleResult:
     recorder: Recorder
     records: list[NodeSolveRecord]
     n_constraint_rows: int
+    quarantined: tuple[QuarantineRecord, ...] = ()
+    retries: tuple[RetryReport, ...] = ()
+    nodes_resumed: int = 0
+    replayed: bool = False
 
     @property
     def seconds_per_constraint(self) -> float:
@@ -74,6 +93,16 @@ class HierarchicalSolver:
         Scalar rows per observation vector at every node.
     options:
         Per-batch update options.
+    checkpoint:
+        Optional :class:`~repro.faults.CheckpointManager`.  When given,
+        every completed node of the running cycle and the output of every
+        completed cycle are persisted; re-running the solve against the
+        same directory resumes from the last completed post-order node
+        with bitwise-identical results.
+    node_crash_attempts:
+        How many times a node is (re)started when a crash fault surfaces
+        inside it before the crash propagates (models supervisor
+        restarts of dead subtree workers).
     """
 
     def __init__(
@@ -81,11 +110,18 @@ class HierarchicalSolver:
         hierarchy: Hierarchy,
         batch_size: int = 16,
         options: UpdateOptions = UpdateOptions(),
+        checkpoint: "CheckpointManager | None" = None,
+        node_crash_attempts: int = 3,
     ):
         self.hierarchy = hierarchy
         self.batch_size = int(batch_size)
         self.options = options
+        self.checkpoint = checkpoint
+        self.node_crash_attempts = max(1, int(node_crash_attempts))
         self.n_constraint_rows = sum(n.n_constraint_rows for n in hierarchy.nodes)
+        self._cycle_index = 0
+        if checkpoint is not None:
+            checkpoint.bind(hierarchy.n_atoms)
 
     # ------------------------------------------------------------- solve
     def run_cycle(
@@ -101,22 +137,60 @@ class HierarchicalSolver:
                 f"estimate covers {estimate.n_atoms} atoms, hierarchy expects "
                 f"{self.hierarchy.n_atoms}"
             )
+        cycle = self._cycle_index
+        ck = self.checkpoint
+        if ck is not None:
+            cached = ck.completed_cycle_estimate(cycle)
+            if cached is not None:
+                # This cycle already ran to completion in a previous
+                # (interrupted) solve; replay its stored output verbatim.
+                self._cycle_index += 1
+                return HierCycleResult(
+                    cached, 0.0, Recorder(), [], self.n_constraint_rows, replayed=True
+                )
+            ck.start_cycle(cycle)
         opts = options if options is not None else self.options
         outer = current_recorder()
         rec = outer if outer is not None else Recorder()
         records: list[NodeSolveRecord] = []
         node_results: dict[int, StructureEstimate] = {}
+        quarantined: list[QuarantineRecord] = []
+        retries: list[RetryReport] = []
+        resumed = 0
         total_timer = Timer()
         with recording(rec):
             with total_timer:
                 for node in self.hierarchy.post_order():
+                    if ck is not None and ck.has_node(node.nid):
+                        # Discard the children consumed by the original run
+                        # of this node, mirroring the memory behaviour.
+                        for child in node.children:
+                            node_results.pop(child.nid, None)
+                        node_results[node.nid] = ck.load_node(node.nid)
+                        resumed += 1
+                        continue
                     node_results[node.nid] = self._solve_node(
-                        node, estimate, node_results, rec, records, opts
+                        node, estimate, node_results, rec, records, opts,
+                        quarantined, retries,
                     )
+                    if ck is not None:
+                        ck.save_node(node.nid, node_results[node.nid])
         root = self.hierarchy.root
         final = estimate.copy()
         node_results[root.nid].scatter_into(final, root.atoms)
-        return HierCycleResult(final, total_timer.elapsed, rec, records, self.n_constraint_rows)
+        if ck is not None:
+            ck.finish_cycle(cycle, final)
+        self._cycle_index += 1
+        return HierCycleResult(
+            final,
+            total_timer.elapsed,
+            rec,
+            records,
+            self.n_constraint_rows,
+            quarantined=tuple(quarantined),
+            retries=tuple(retries),
+            nodes_resumed=resumed,
+        )
 
     def _solve_node(
         self,
@@ -126,25 +200,23 @@ class HierarchicalSolver:
         rec: Recorder,
         records: list[NodeSolveRecord],
         opts: UpdateOptions,
+        quarantined: list[QuarantineRecord],
+        retries: list[RetryReport],
     ) -> StructureEstimate:
         timer = Timer()
         with rec.tagged(node.nid):
             n_events_before = len(rec.events)
             with timer:
                 if node.is_leaf:
-                    local = global_estimate.extract_atoms(node.atoms)
+                    prior = global_estimate.extract_atoms(node.atoms)
                 else:
                     # Children are mutually uncorrelated until this node's
                     # boundary-spanning constraints connect them.
                     parts = [node_results.pop(c.nid) for c in node.children]
-                    local = StructureEstimate.block_diagonal(parts)
-                if node.constraints:
-                    batches = make_batches(node.constraints, self.batch_size)
-                    cmap = node.column_map(self.hierarchy.n_atoms)
-                    for batch in batches:
-                        local = apply_batch(local, batch, cmap, opts)
-                else:
-                    batches = []
+                    prior = StructureEstimate.block_diagonal(parts)
+                local, n_batches = self._compute_node(
+                    node, prior, opts, quarantined, retries
+                )
             events = rec.events[n_events_before:]
         records.append(
             NodeSolveRecord(
@@ -153,12 +225,67 @@ class HierarchicalSolver:
                 depth=node.depth,
                 state_dim=node.state_dim,
                 n_constraint_rows=node.n_constraint_rows,
-                n_batches=len(batches),
+                n_batches=n_batches,
                 seconds=timer.elapsed,
                 events=list(events),
             )
         )
         return local
+
+    def _compute_node(
+        self,
+        node: HierarchyNode,
+        prior: StructureEstimate,
+        opts: UpdateOptions,
+        quarantined: list[QuarantineRecord],
+        retries: list[RetryReport],
+    ) -> tuple[StructureEstimate, int]:
+        """Apply a node's batches to its prior, absorbing injected crashes.
+
+        A crash fault aborts the node's partial work and restarts the
+        whole node from ``prior`` (bounded attempts); partial updates are
+        never committed, so a restarted node is indistinguishable from a
+        first run.
+        """
+        injector = current_injector()
+        crashes = 0
+        while True:
+            try:
+                if injector is not None:
+                    injector.maybe_sleep()
+                    injector.maybe_crash(f"node {node.nid}")
+                return self._apply_node_batches(node, prior, opts, quarantined, retries)
+            except WorkerCrashError:
+                crashes += 1
+                if crashes >= self.node_crash_attempts:
+                    raise
+
+    def _apply_node_batches(
+        self,
+        node: HierarchyNode,
+        prior: StructureEstimate,
+        opts: UpdateOptions,
+        quarantined: list[QuarantineRecord],
+        retries: list[RetryReport],
+    ) -> tuple[StructureEstimate, int]:
+        local = prior
+        if not node.constraints:
+            return local, 0
+        batches = make_batches(node.constraints, self.batch_size)
+        cmap = node.column_map(self.hierarchy.n_atoms)
+        for batch in batches:
+            try:
+                local = apply_batch(local, batch, cmap, opts, retry_log=retries)
+            except BatchUpdateError as exc:
+                quarantined.append(
+                    QuarantineRecord(
+                        nid=node.nid,
+                        n_constraints=len(batch.constraints),
+                        n_rows=batch.dimension,
+                        reason=str(exc),
+                    )
+                )
+        return local, len(batches)
 
     def solve(
         self,
@@ -173,19 +300,34 @@ class HierarchicalSolver:
         ``anneal=(start, decay)`` inflates all measurement variances by
         ``max(1, start · decay^cycle)`` — see
         :func:`repro.core.convergence.annealing_schedule`.
+
+        The returned report carries the robustness ledger of the whole
+        solve: every quarantined batch and every retry report from every
+        cycle.
         """
         from dataclasses import replace
 
         from repro.core.convergence import solve_with_annealing
 
-        return solve_with_annealing(
-            lambda est, scale: self.run_cycle(
-                est,
-                replace(self.options, noise_scale=self.options.noise_scale * scale),
-            ).estimate,
+        quarantine: list[QuarantineRecord] = []
+        retries: list[RetryReport] = []
+
+        def runner(est: StructureEstimate, scale: float) -> StructureEstimate:
+            result = self.run_cycle(
+                est, replace(self.options, noise_scale=self.options.noise_scale * scale)
+            )
+            quarantine.extend(result.quarantined)
+            retries.extend(result.retries)
+            return result.estimate
+
+        report = solve_with_annealing(
+            runner,
             estimate,
             max_cycles,
             tol,
             gauge_invariant=gauge_invariant,
             anneal=anneal,
         )
+        report.quarantine = quarantine
+        report.retries = retries
+        return report

@@ -12,6 +12,17 @@ operation category, FLOPs and time are recorded:
 5. state update ``x⁺ = x⁻ + K (z − h(x⁻))`` (``m-v``; O(m·n)),
 6. covariance update ``C⁺ = C⁻ − K (C⁻Hᵗ)ᵗ`` (``m-m``; O(m·n²)),
 7. miscellaneous O(n) vector operations (``vec``).
+
+Steps 2-6 run inside a bounded retry loop: a failed factorization (a
+near-singular innovation covariance, or an injected fault) escalates a
+relative diagonal regularization of ``S`` geometrically —
+``jitter · jitter_growth^k`` on retry ``k`` — instead of aborting the
+whole solve.  Each retried batch contributes a structured
+:class:`~repro.faults.RetryReport`; a batch that exhausts its attempts
+raises :class:`~repro.errors.BatchUpdateError` so the solvers can
+quarantine it and continue.  The posterior ``(x⁺, C⁺)`` is committed only
+after an attempt fully succeeds, so a failed attempt never contaminates
+the estimate.
 """
 
 from __future__ import annotations
@@ -22,7 +33,14 @@ import numpy as np
 
 from repro.constraints.batch import ConstraintBatch, assemble_batch
 from repro.core.state import StructureEstimate
-from repro.errors import DimensionError
+from repro.errors import (
+    BatchUpdateError,
+    DimensionError,
+    InjectedFaultError,
+    NotPositiveDefiniteError,
+)
+from repro.faults.injector import FaultInjector, current_injector
+from repro.faults.report import RetryAttempt, RetryReport
 from repro.linalg.cholesky import cholesky_factor, cholesky_solve
 from repro.linalg.kernels import add_diagonal, gemm, gemv, outer_update, vec_add, vec_sub
 from repro.util.validation import symmetrize
@@ -45,8 +63,16 @@ class UpdateOptions:
         reproduces the paper's procedure; >1 re-evaluates ``h`` and ``H``
         at the running posterior mean, improving strongly nonlinear steps.
     jitter:
-        Diagonal regularization added to ``S`` if its factorization fails;
-        0 disables the retry.
+        Base relative diagonal regularization added to ``S`` when its
+        factorization fails; 0 disables the retry loop entirely (failures
+        propagate immediately, the pre-robustness behaviour).
+    max_retries:
+        Upper bound on regularized retries per attempt sequence.  Retry
+        ``k`` (1-based) uses ``jitter · jitter_growth^(k-1)``; when all
+        retries fail the batch raises :class:`~repro.errors.BatchUpdateError`
+        carrying its :class:`~repro.faults.RetryReport`.
+    jitter_growth:
+        Geometric escalation factor between consecutive retries.
     noise_scale:
         Multiplier applied to every measurement variance for this update.
         Values > 1 soften the constraints; the solvers' annealing schedules
@@ -58,6 +84,8 @@ class UpdateOptions:
     joseph: bool = False
     local_iterations: int = 1
     jitter: float = 1e-9
+    max_retries: int = 8
+    jitter_growth: float = 10.0
     noise_scale: float = 1.0
 
 
@@ -66,13 +94,16 @@ def apply_batch(
     batch: ConstraintBatch,
     atom_to_column: np.ndarray | None = None,
     options: UpdateOptions = UpdateOptions(),
+    retry_log: list[RetryReport] | None = None,
 ) -> StructureEstimate:
     """Apply one constraint batch to ``estimate`` and return the posterior.
 
     ``atom_to_column`` maps global atom ids to this estimate's local atom
     slots (``None`` = identity), allowing the same routine to serve both
     the flat solver (global state) and every node of the hierarchy (local
-    state).  The input estimate is not modified.
+    state).  The input estimate is not modified.  ``retry_log``, if given,
+    collects a :class:`~repro.faults.RetryReport` for every attempt
+    sequence that needed at least one retry.
     """
     if options.local_iterations < 1:
         raise DimensionError("local_iterations must be >= 1")
@@ -81,39 +112,116 @@ def apply_batch(
     x = estimate.mean
     c = estimate.covariance
     n = x.shape[0]
+    injector = current_injector()
 
     for _ in range(options.local_iterations):
         coords_owner = _CoordsView(x, atom_to_column)
         z, h, big_h, r = assemble_batch(
             batch, coords_owner.coords, atom_to_column, n_columns=n
         )
-        # Step 2: C⁻Hᵗ via the dense-sparse kernels (C is symmetric, so
-        # C Hᵗ = (H C)ᵗ; rmatmul keeps the (n×m) result layout directly).
         if options.noise_scale != 1.0:
             r = r * options.noise_scale
-        cht = big_h.rmatmul_dense(c)  # C⁻Hᵗ, an (n×m) array (C symmetric)
-        s = big_h.matmul_dense(cht)  # (m, m) = H · (C⁻Hᵗ)
-        s = add_diagonal(s, r)
-        # Step 3 + 4: factor S, solve for the gain K = C⁻Hᵗ S⁻¹.
-        try:
-            lower = cholesky_factor(s)
-        except Exception:
-            if options.jitter <= 0:
-                raise
-            lower = cholesky_factor(add_diagonal(s, options.jitter * (1.0 + np.abs(np.diag(s)))))
-        kt = cholesky_solve(lower, cht.T)  # (m, n): S Kᵗ = (C⁻Hᵗ)ᵗ
-        k = kt.T
-        # Step 5: state update with the innovation z − h(x).
-        innovation = vec_sub(z, h)
-        x = vec_add(x, gemv(k, innovation))
-        # Step 6: covariance update.
-        if options.joseph:
-            c = _joseph_update(c, k, big_h, r, n)
-        else:
-            c = outer_update(c, k, cht)
-        c = symmetrize(c)
+        x, c = _update_with_retry(x, c, z, h, big_h, r, n, options, injector, retry_log)
 
     return StructureEstimate(x, c)
+
+
+def _update_with_retry(
+    x: np.ndarray,
+    c: np.ndarray,
+    z: np.ndarray,
+    h: np.ndarray,
+    big_h,
+    r: np.ndarray,
+    n: int,
+    options: UpdateOptions,
+    injector: FaultInjector | None,
+    retry_log: list[RetryReport] | None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Steps 2-6 under the bounded escalating-regularization retry policy.
+
+    Attempt 0 is unregularized; retry ``k`` regularizes ``S`` by
+    ``jitter · growth^(k-1)`` relative to ``1 + |diag(S)|``.  Every
+    attempt recomputes from the pre-attempt ``(x, c)``, so transiently
+    poisoned kernels and injected factorization failures are washed out
+    by the recomputation rather than committed.
+    """
+    retries_enabled = options.jitter > 0
+    max_attempts = 1 + (max(0, options.max_retries) if retries_enabled else 0)
+    failures: list[RetryAttempt] = []
+    reg = 0.0
+    for attempt in range(max_attempts):
+        reg = 0.0 if attempt == 0 else options.jitter * options.jitter_growth ** (attempt - 1)
+        try:
+            x_new, c_new = _attempt_update(x, c, z, h, big_h, r, n, options, reg, injector)
+        except (NotPositiveDefiniteError, InjectedFaultError) as exc:
+            failures.append(
+                RetryAttempt(regularization=reg, error=type(exc).__name__, message=str(exc))
+            )
+            if not retries_enabled:
+                raise  # robustness disabled (jitter=0): preserve the failure
+            continue
+        if failures and retry_log is not None:
+            retry_log.append(
+                RetryReport(
+                    attempts=tuple(failures), succeeded=True, final_regularization=reg
+                )
+            )
+        return x_new, c_new
+    report = RetryReport(
+        attempts=tuple(failures), succeeded=False, final_regularization=reg
+    )
+    if retry_log is not None:
+        retry_log.append(report)
+    raise BatchUpdateError(
+        f"batch update failed terminally after {max_attempts} attempts "
+        f"(last error: {failures[-1].message})",
+        report=report,
+    )
+
+
+def _attempt_update(
+    x: np.ndarray,
+    c: np.ndarray,
+    z: np.ndarray,
+    h: np.ndarray,
+    big_h,
+    r: np.ndarray,
+    n: int,
+    options: UpdateOptions,
+    regularization: float,
+    injector: FaultInjector | None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """One full measurement-update attempt; raises rather than commit NaNs."""
+    if injector is not None:
+        z = injector.maybe_corrupt(z)
+    # Step 2: C⁻Hᵗ via the dense-sparse kernels (C is symmetric, so
+    # C Hᵗ = (H C)ᵗ; rmatmul keeps the (n×m) result layout directly).
+    cht = big_h.rmatmul_dense(c)  # C⁻Hᵗ, an (n×m) array (C symmetric)
+    s = big_h.matmul_dense(cht)  # (m, m) = H · (C⁻Hᵗ)
+    s = add_diagonal(s, r)
+    if injector is not None and not np.all(np.isfinite(s)):
+        raise InjectedFaultError("non-finite innovation covariance detected")
+    if regularization > 0.0:
+        s = add_diagonal(s, regularization * (1.0 + np.abs(np.diag(s))))
+    # Step 3 + 4: factor S, solve for the gain K = C⁻Hᵗ S⁻¹.
+    lower = cholesky_factor(s, regularization=regularization)
+    kt = cholesky_solve(lower, cht.T)  # (m, n): S Kᵗ = (C⁻Hᵗ)ᵗ
+    k = kt.T
+    # Step 5: state update with the innovation z − h(x).
+    innovation = vec_sub(z, h)
+    x_new = vec_add(x, gemv(k, innovation))
+    # Step 6: covariance update.
+    if options.joseph:
+        c_new = _joseph_update(c, k, big_h, r, n)
+    else:
+        c_new = outer_update(c, k, cht)
+    c_new = symmetrize(c_new)
+    if injector is not None and (
+        not np.all(np.isfinite(x_new)) or not np.all(np.isfinite(c_new))
+    ):
+        raise InjectedFaultError("non-finite posterior detected")
+    return x_new, c_new
 
 
 class _CoordsView:

@@ -22,7 +22,27 @@ class NotPositiveDefiniteError(ReproError, ValueError):
     Raised by Cholesky-based routines when factorization fails; usually a
     symptom of an inconsistent or degenerate constraint set, or of numerical
     drift in a covariance matrix.
+
+    Attributes
+    ----------
+    condition_estimate:
+        1-norm condition-number estimate of the offending matrix
+        (``inf`` for exactly singular input, ``None`` if unavailable).
+    regularization:
+        Relative diagonal regularization that had been applied when the
+        factorization was attempted (0.0 = unregularized attempt).
     """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        condition_estimate: float | None = None,
+        regularization: float | None = None,
+    ):
+        super().__init__(message)
+        self.condition_estimate = condition_estimate
+        self.regularization = regularization
 
 
 class ConstraintError(ReproError, ValueError):
@@ -52,3 +72,36 @@ class ConvergenceError(ReproError, RuntimeError):
 
 class WorkModelError(ReproError, ValueError):
     """The work-estimation regression failed its positivity checks."""
+
+
+class InjectedFaultError(ReproError, RuntimeError):
+    """A fault deliberately injected by :mod:`repro.faults` surfaced.
+
+    Also raised by the update's fault detectors when a poisoned (non-finite)
+    intermediate is caught before it can contaminate the committed state.
+    """
+
+
+class WorkerCrashError(ReproError, RuntimeError):
+    """A parallel worker died (or was made to die) before finishing its task.
+
+    Executors translate both injected crashes and real broken-pool events
+    into this type; it is also what they raise when a task keeps failing
+    after the resubmission budget is exhausted.
+    """
+
+
+class BatchUpdateError(ReproError, RuntimeError):
+    """A constraint-batch update failed terminally despite retries.
+
+    Carries the structured :class:`repro.faults.RetryReport` describing
+    every attempt, so callers can quarantine the batch and keep going.
+    """
+
+    def __init__(self, message: str, report=None):
+        super().__init__(message)
+        self.report = report
+
+
+class CheckpointError(ReproError, RuntimeError):
+    """A checkpoint directory is missing, corrupt, or from another problem."""

@@ -1,0 +1,45 @@
+"""Fault injection, retry, quarantine and checkpoint/resume.
+
+The robustness layer of the estimator (see ``docs/robustness.md``):
+
+* :class:`FaultInjector` / :func:`fault_injection` — seeded,
+  deterministic fault injection with hook points in the linalg kernels,
+  the Cholesky factorization, the solvers and the executors;
+* :class:`RetryReport` / :class:`QuarantineRecord` — structured records
+  of how failures were absorbed (escalating-regularization retries,
+  terminally quarantined constraint batches);
+* :class:`CheckpointManager` — per-node checkpoint/resume for the
+  hierarchical solve.
+"""
+
+from repro.faults.injector import (
+    CHANNELS,
+    FaultConfig,
+    FaultInjector,
+    current_injector,
+    fault_injection,
+)
+from repro.faults.report import QuarantineRecord, RetryAttempt, RetryReport
+
+
+def __getattr__(name: str):
+    # CheckpointManager needs repro.core.state / repro.io, which import the
+    # kernels, which import this package's injector — load it lazily so the
+    # low-level hook sites can import repro.faults.injector cycle-free.
+    if name == "CheckpointManager":
+        from repro.faults.checkpoint import CheckpointManager
+
+        return CheckpointManager
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "CHANNELS",
+    "CheckpointManager",
+    "FaultConfig",
+    "FaultInjector",
+    "QuarantineRecord",
+    "RetryAttempt",
+    "RetryReport",
+    "current_injector",
+    "fault_injection",
+]

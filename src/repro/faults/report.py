@@ -1,0 +1,60 @@
+"""Structured records of recoveries: retries, quarantines, resumptions.
+
+These are the "flight data" of the robustness layer.  Every escalating
+regularization retry produces a :class:`RetryReport`; every batch that
+fails terminally produces a :class:`QuarantineRecord`.  Solvers surface
+both through their cycle results and the final
+:class:`~repro.core.convergence.ConvergenceReport`, so a production
+operator can distinguish "converged cleanly" from "converged around three
+quarantined constraint batches".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RetryAttempt:
+    """One failed factorization/update attempt inside a retry loop."""
+
+    regularization: float
+    error: str
+    message: str = ""
+
+
+@dataclass(frozen=True)
+class RetryReport:
+    """Outcome of one batch update's bounded retry loop.
+
+    ``attempts`` holds only the *failed* attempts; a report with one entry
+    and ``succeeded=True`` means the first retry (after one failure)
+    recovered.  ``final_regularization`` is the relative diagonal jitter in
+    effect when the loop exited (successfully or not).
+    """
+
+    attempts: tuple[RetryAttempt, ...]
+    succeeded: bool
+    final_regularization: float
+
+    @property
+    def n_failures(self) -> int:
+        return len(self.attempts)
+
+    def regularizations(self) -> tuple[float, ...]:
+        """The escalation sequence actually tried (failed attempts only)."""
+        return tuple(a.regularization for a in self.attempts)
+
+
+@dataclass(frozen=True)
+class QuarantineRecord:
+    """A constraint batch excluded from the solve after terminal failure.
+
+    ``nid`` is the hierarchy node (or ``"flat"``) whose update failed;
+    the counts let reports aggregate without holding constraint objects.
+    """
+
+    nid: int | str
+    n_constraints: int
+    n_rows: int
+    reason: str

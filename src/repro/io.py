@@ -13,6 +13,7 @@ subclasses would need their own registry entry in ``_CONSTRAINT_TYPES``.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 
 import numpy as np
@@ -33,11 +34,24 @@ class SerializationError(ReproError, ValueError):
 
 
 # --------------------------------------------------------------- estimates
-def save_estimate(path: str | Path, estimate: StructureEstimate) -> None:
-    """Write an estimate to ``path`` (``.npz``)."""
+def save_estimate(
+    path: str | Path, estimate: StructureEstimate, atomic: bool = False
+) -> None:
+    """Write an estimate to ``path`` (``.npz``).
+
+    ``atomic=True`` writes to a temporary sibling and renames it into
+    place, so a crash mid-write can never leave a truncated archive — the
+    guarantee the checkpoint/resume layer (:mod:`repro.faults.checkpoint`)
+    depends on.
+    """
+    path = Path(path)
+    target = path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+    write_to = target.with_name(target.name + ".tmp.npz") if atomic else target
     np.savez_compressed(
-        path, mean=estimate.mean, covariance=estimate.covariance, kind="estimate"
+        write_to, mean=estimate.mean, covariance=estimate.covariance, kind="estimate"
     )
+    if atomic:
+        os.replace(write_to, target)
 
 
 def load_estimate(path: str | Path) -> StructureEstimate:

@@ -20,29 +20,61 @@ import numpy as np
 import scipy.linalg
 
 from repro.errors import DimensionError, NotPositiveDefiniteError
+from repro.faults.injector import current_injector
 from repro.linalg.counters import OpCategory, emit, timed
 from repro.linalg.triangular import solve_lower, solve_upper
 
 
-def cholesky_factor(s: np.ndarray, block: int | None = None) -> np.ndarray:
+def condition_estimate(s: np.ndarray) -> float:
+    """Cheap 1-norm condition-number estimate of ``s`` for diagnostics.
+
+    Exactly singular (or non-finite) input yields ``inf``; the value is
+    only used in error messages and reports, never in the solve path.
+    """
+    try:
+        cond = float(np.linalg.cond(s, 1))
+    except np.linalg.LinAlgError:
+        return float("inf")
+    return cond if np.isfinite(cond) else float("inf")
+
+
+def _not_pd(message: str, s: np.ndarray, regularization: float) -> NotPositiveDefiniteError:
+    cond = condition_estimate(s)
+    return NotPositiveDefiniteError(
+        f"{message} (condition estimate {cond:.3e}, "
+        f"attempted regularization {regularization:.3e})",
+        condition_estimate=cond,
+        regularization=regularization,
+    )
+
+
+def cholesky_factor(
+    s: np.ndarray, block: int | None = None, regularization: float = 0.0
+) -> np.ndarray:
     """Lower Cholesky factor ``L`` with ``L Lᵗ = s``; a ``chol`` event.
 
     ``block`` selects the blocked algorithm with that panel width;
     ``None`` uses LAPACK ``potrf``.  Raises
-    :class:`NotPositiveDefiniteError` if ``s`` is not positive definite.
+    :class:`NotPositiveDefiniteError` if ``s`` is not positive definite;
+    ``regularization`` is the relative diagonal jitter the caller already
+    applied to ``s``, reported in the error for diagnosis (the retry
+    layer in :mod:`repro.core.update` passes its escalation level here).
     """
     s = np.asarray(s, dtype=np.float64)
     if s.ndim != 2 or s.shape[0] != s.shape[1]:
         raise DimensionError("cholesky_factor expects a square matrix")
+    injector = current_injector()
+    if injector is not None:
+        injector.maybe_fail_cholesky()
     m = s.shape[0]
     t0 = timed()
     if block is None:
         try:
             lower = scipy.linalg.cholesky(s, lower=True, check_finite=False)
         except scipy.linalg.LinAlgError as exc:
-            raise NotPositiveDefiniteError(str(exc)) from exc
+            raise _not_pd(str(exc), s, regularization) from exc
     else:
-        lower = _blocked_cholesky(s, block)
+        lower = _blocked_cholesky(s, block, regularization)
     seconds = timed() - t0
     flops = m**3 / 3.0
     emit(OpCategory.CHOLESKY, flops, 8.0 * 2 * s.size, (m,), seconds,
@@ -50,7 +82,7 @@ def cholesky_factor(s: np.ndarray, block: int | None = None) -> np.ndarray:
     return lower
 
 
-def _blocked_cholesky(s: np.ndarray, block: int) -> np.ndarray:
+def _blocked_cholesky(s: np.ndarray, block: int, regularization: float = 0.0) -> np.ndarray:
     """Right-looking blocked Cholesky (textbook panel algorithm)."""
     if block < 1:
         raise DimensionError("block must be >= 1")
@@ -62,7 +94,9 @@ def _blocked_cholesky(s: np.ndarray, block: int) -> np.ndarray:
         try:
             a[j : j + jb, j : j + jb] = np.linalg.cholesky(panel)
         except np.linalg.LinAlgError as exc:
-            raise NotPositiveDefiniteError(f"panel at {j} not positive definite") from exc
+            raise _not_pd(
+                f"panel at {j} not positive definite", s, regularization
+            ) from exc
         if j + jb < m:
             ljj = a[j : j + jb, j : j + jb]
             # Trailing column block: A21 := A21 · L11⁻ᵗ

@@ -12,7 +12,16 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import DimensionError
+from repro.faults.injector import current_injector
 from repro.linalg.counters import OpCategory, emit, timed
+
+
+def _maybe_poison(out: np.ndarray, site: str) -> np.ndarray:
+    """NaN-poisoning hook for the fault injector (no-op when inactive)."""
+    injector = current_injector()
+    if injector is None:
+        return out
+    return injector.maybe_poison(out, site)
 
 
 def gemm(a: np.ndarray, b: np.ndarray, category: OpCategory = OpCategory.MATMAT) -> np.ndarray:
@@ -31,7 +40,7 @@ def gemm(a: np.ndarray, b: np.ndarray, category: OpCategory = OpCategory.MATMAT)
     out = a @ b
     seconds = timed() - t0
     emit(category, 2.0 * p * q * r, 8.0 * (a.size + b.size + out.size), (p, q, r), seconds, parallel_rows=p)
-    return out
+    return _maybe_poison(out, "gemm")
 
 
 def gemv(a: np.ndarray, x: np.ndarray) -> np.ndarray:
@@ -45,7 +54,7 @@ def gemv(a: np.ndarray, x: np.ndarray) -> np.ndarray:
     out = a @ x
     seconds = timed() - t0
     emit(OpCategory.MATVEC, 2.0 * p * q, 8.0 * (a.size + x.size + out.size), (p, q), seconds, parallel_rows=p)
-    return out
+    return _maybe_poison(out, "gemv")
 
 
 def outer_update(c: np.ndarray, k: np.ndarray, cht: np.ndarray) -> np.ndarray:
@@ -70,7 +79,7 @@ def outer_update(c: np.ndarray, k: np.ndarray, cht: np.ndarray) -> np.ndarray:
     seconds = timed() - t0
     flops = 2.0 * n * n * m + n * n
     emit(OpCategory.MATMAT, flops, 8.0 * (c.size + k.size + cht.size + out.size), (n, m), seconds, parallel_rows=n)
-    return out
+    return _maybe_poison(out, "outer_update")
 
 
 def add_diagonal(a: np.ndarray, d: np.ndarray | float) -> np.ndarray:

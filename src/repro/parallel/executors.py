@@ -1,27 +1,90 @@
 """Executor abstraction: serial, thread-pool and process-pool backends.
 
 The scheduler only needs "run these independent thunks, give me their
-results" — expressed as :meth:`Executor.map_unordered` over picklable
-task descriptions for the process backend, or plain closures for the
+results" — expressed as :meth:`Executor.map` over picklable task
+descriptions for the process backend, or plain closures for the
 serial/thread backends.
+
+All backends share one recovery contract (exercised by
+``tests/test_executor_recovery.py``): a task lost to a crashed worker —
+whether injected by :mod:`repro.faults` or a real dead process taking its
+pool down — is detected and resubmitted, up to ``max_resubmits`` rounds,
+after which :class:`~repro.errors.WorkerCrashError` propagates.  Tasks
+must therefore be idempotent, which the solver's pure node updates are.
+Any exception other than a crash propagates unchanged.
 """
 
 from __future__ import annotations
 
 import abc
 import concurrent.futures
-from typing import Callable, Iterable, Sequence, TypeVar
+import os
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Sequence, TypeVar
+
+from repro.errors import WorkerCrashError
+from repro.faults.injector import current_injector
 
 T = TypeVar("T")
 R = TypeVar("R")
 
 
+def _call_with_faults(fn: Callable[[T], R], item: T, crash: bool, mode: str) -> R:
+    """Worker-side shim: optionally die before running the real task."""
+    if crash:
+        if mode == "kill":
+            os._exit(113)  # hard death: the process pool loses this worker
+        raise WorkerCrashError("injected worker crash")
+    return fn(item)
+
+
 class Executor(abc.ABC):
-    """Minimal executor interface used by the tree scheduler."""
+    """Minimal executor interface used by the tree scheduler.
+
+    ``max_resubmits`` bounds how many recovery rounds :meth:`map` runs
+    when tasks are lost to crashed workers.
+    """
+
+    max_resubmits: int = 3
 
     @abc.abstractmethod
+    def _dispatch(
+        self, fn: Callable[[T], R], tasks: list[tuple[int, T, bool]]
+    ) -> tuple[dict[int, R], list[int]]:
+        """Run ``(index, item, crash_flag)`` tasks once.
+
+        Returns ``(results by index, indices lost to crashes)``.  Non-crash
+        exceptions must propagate.
+        """
+
     def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
-        """Apply ``fn`` to every item, possibly concurrently; order preserved."""
+        """Apply ``fn`` to every item, possibly concurrently; order preserved.
+
+        Crashed tasks (injected or real) are resubmitted in bounded rounds;
+        an active :class:`~repro.faults.FaultInjector` draws one crash
+        decision per item, in submission order, so the fault schedule is
+        deterministic for a given seed.
+        """
+        injector = current_injector()
+        n = len(items)
+        crash = injector.crash_schedule(n) if injector is not None else [False] * n
+        results: dict[int, R] = {}
+        todo = list(range(n))
+        rounds = 0
+        while todo:
+            done, failed = self._dispatch(fn, [(i, items[i], crash[i]) for i in todo])
+            results.update(done)
+            for i in todo:
+                crash[i] = False  # a resubmitted task is not re-poisoned
+            if failed:
+                rounds += 1
+                if rounds > self.max_resubmits:
+                    raise WorkerCrashError(
+                        f"{len(failed)} tasks still lost to worker crashes "
+                        f"after {self.max_resubmits} resubmission rounds"
+                    )
+            todo = sorted(failed)
+        return [results[i] for i in range(n)]
 
     def close(self) -> None:
         """Release executor resources (no-op by default)."""
@@ -36,8 +99,15 @@ class Executor(abc.ABC):
 class SerialExecutor(Executor):
     """Executes tasks inline; the reference behaviour all backends must match."""
 
-    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
-        return [fn(item) for item in items]
+    def _dispatch(self, fn, tasks):
+        results: dict[int, object] = {}
+        failed: list[int] = []
+        for i, item, crash in tasks:
+            try:
+                results[i] = _call_with_faults(fn, item, crash, "raise")
+            except WorkerCrashError:
+                failed.append(i)
+        return results, failed
 
 
 class ThreadExecutor(Executor):
@@ -46,16 +116,30 @@ class ThreadExecutor(Executor):
     NumPy's BLAS kernels drop the GIL, so the solver's dominant ``m-m`` /
     ``sys`` work genuinely overlaps across subtrees on a multi-core host;
     pure-Python bookkeeping serializes on the GIL (the repro-band caveat).
+    Injected crashes always take the soft (exception) form — a hard exit
+    would kill the whole interpreter.
     """
 
-    def __init__(self, n_workers: int):
+    def __init__(self, n_workers: int, max_resubmits: int = 3):
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
         self.n_workers = n_workers
+        self.max_resubmits = max_resubmits
         self._pool = concurrent.futures.ThreadPoolExecutor(max_workers=n_workers)
 
-    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
-        return list(self._pool.map(fn, items))
+    def _dispatch(self, fn, tasks):
+        futures = {
+            self._pool.submit(_call_with_faults, fn, item, crash, "raise"): i
+            for i, item, crash in tasks
+        }
+        results: dict[int, object] = {}
+        failed: list[int] = []
+        for future, i in futures.items():
+            try:
+                results[i] = future.result()
+            except WorkerCrashError:
+                failed.append(i)
+        return results, failed
 
     def close(self) -> None:
         self._pool.shutdown(wait=True)
@@ -67,16 +151,44 @@ class ProcessExecutor(Executor):
     ``fn`` and the items must be picklable (the scheduler ships module-level
     functions plus plain data).  Worker start-up is expensive; this backend
     pays off only for long subtree solves.
+
+    A worker that dies mid-task (``os._exit``, OOM-kill, injected
+    ``crash_mode="kill"`` fault) breaks the whole ``concurrent.futures``
+    pool; :meth:`_dispatch` detects that, rebuilds the pool, and reports
+    every unfinished task for resubmission.
     """
 
-    def __init__(self, n_workers: int):
+    def __init__(self, n_workers: int, max_resubmits: int = 3):
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
         self.n_workers = n_workers
+        self.max_resubmits = max_resubmits
         self._pool = concurrent.futures.ProcessPoolExecutor(max_workers=n_workers)
 
-    def map(self, fn: Callable[[T], R], items: Sequence[T]) -> list[R]:
-        return list(self._pool.map(fn, items))
+    def _dispatch(self, fn, tasks):
+        injector = current_injector()
+        mode = injector.config.crash_mode if injector is not None else "raise"
+        futures = {
+            self._pool.submit(_call_with_faults, fn, item, crash, mode): i
+            for i, item, crash in tasks
+        }
+        results: dict[int, object] = {}
+        failed: list[int] = []
+        broken = False
+        for future, i in futures.items():
+            try:
+                results[i] = future.result()
+            except WorkerCrashError:
+                failed.append(i)
+            except BrokenProcessPool:
+                failed.append(i)
+                broken = True
+        if broken:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.n_workers
+            )
+        return results, failed
 
     def close(self) -> None:
         self._pool.shutdown(wait=True)

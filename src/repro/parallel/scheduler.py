@@ -26,6 +26,7 @@ from repro.core.hierarchy import Hierarchy, HierarchyNode
 from repro.core.state import StructureEstimate
 from repro.core.update import UpdateOptions, apply_batch
 from repro.errors import HierarchyError
+from repro.faults.injector import current_injector
 from repro.linalg.counters import KernelEvent, Recorder, recording
 from repro.parallel.executors import Executor, SerialExecutor
 from repro.util.timer import Timer
@@ -48,6 +49,11 @@ def _run_node_task(task: _NodeTask) -> tuple[int, StructureEstimate, list[Kernel
     rec = Recorder()
     timer = Timer()
     estimate = task.prior
+    injector = current_injector()
+    if injector is not None:
+        # Straggler simulation; crash faults are the executor's concern
+        # (it draws one decision per submitted task and resubmits).
+        injector.maybe_sleep()
     with recording(rec), rec.tagged(task.nid), timer:
         if task.constraints:
             for batch in make_batches(task.constraints, task.batch_size):

@@ -1,0 +1,102 @@
+"""Worker-crash recovery contract for every executor backend.
+
+All three backends must satisfy the same contract: a task lost to a
+crashed worker — injected soft crash, injected hard kill, or a real dead
+process — is detected and resubmitted (bounded rounds), results come back
+complete and in submission order, and exhausting the resubmit budget
+raises :class:`~repro.errors.WorkerCrashError`.
+"""
+
+import os
+
+import pytest
+
+from repro.errors import WorkerCrashError
+from repro.faults import FaultConfig, FaultInjector, fault_injection
+from repro.parallel.executors import ProcessExecutor, SerialExecutor, ThreadExecutor
+
+BACKENDS = ["serial", "thread", "process"]
+
+
+# Module-level so the process backend can pickle them.
+def double(x):
+    return 2 * x
+
+
+def always_crash(x):
+    raise WorkerCrashError(f"task {x} always crashes")
+
+
+def die_once(token_path):
+    """Hard-kill the worker process the first time it sees ``token_path``."""
+    if not os.path.exists(token_path):
+        with open(token_path, "w") as fh:
+            fh.write("died")
+        os._exit(1)
+    return "survived"
+
+
+@pytest.fixture(params=BACKENDS)
+def executor(request):
+    if request.param == "serial":
+        ex = SerialExecutor()
+    elif request.param == "thread":
+        ex = ThreadExecutor(n_workers=2)
+    else:
+        ex = ProcessExecutor(n_workers=2)
+    yield ex
+    ex.close()
+
+
+class TestRecoveryContract:
+    """Parametrized over all backends: same inputs, same guarantees."""
+
+    def test_plain_map_preserves_order(self, executor):
+        assert executor.map(double, list(range(20))) == [2 * i for i in range(20)]
+
+    def test_every_task_crashing_once_is_absorbed(self, executor):
+        """crash_p=1.0: each task dies on first submission, succeeds on resubmit."""
+        inj = FaultInjector(FaultConfig(crash_p=1.0, seed=0))
+        with fault_injection(inj):
+            out = executor.map(double, [1, 2, 3, 4])
+        assert out == [2, 4, 6, 8]
+        assert inj.injected["crash"] == 4  # every task was actually poisoned
+
+    def test_partial_crashes_preserve_order(self, executor):
+        inj = FaultInjector(FaultConfig(crash_p=0.5, seed=3))
+        with fault_injection(inj):
+            out = executor.map(double, list(range(12)))
+        assert out == [2 * i for i in range(12)]
+        assert 0 < inj.injected["crash"] < 12
+
+    def test_resubmit_budget_exhaustion_raises(self, executor):
+        executor.max_resubmits = 2
+        with pytest.raises(WorkerCrashError, match="resubmission rounds"):
+            executor.map(always_crash, [1, 2, 3])
+
+    def test_no_injector_runs_clean(self, executor):
+        assert executor.map(double, [5]) == [10]
+
+
+class TestProcessPoolHardDeath:
+    def test_real_worker_kill_is_detected_and_resubmitted(self, tmp_path):
+        """A worker that os._exit()s breaks the pool; the executor rebuilds
+        it and resubmits the lost task, which then succeeds."""
+        token = str(tmp_path / "died.token")
+        with ProcessExecutor(n_workers=1) as ex:
+            assert ex.map(die_once, [token]) == ["survived"]
+        assert os.path.exists(token)  # the kill really happened
+
+    def test_injected_kill_mode_breaks_and_recovers_pool(self):
+        """crash_mode='kill' makes injected crashes hard-exit the worker."""
+        inj = FaultInjector(FaultConfig(crash_p=1.0, seed=0, crash_mode="kill"))
+        with ProcessExecutor(n_workers=2) as ex, fault_injection(inj):
+            assert ex.map(double, [1, 2, 3]) == [2, 4, 6]
+        assert inj.injected["crash"] == 3
+
+    def test_thread_backend_never_hard_kills(self):
+        """Thread backend downgrades kill-mode faults to soft crashes
+        (a hard exit would take down the whole interpreter)."""
+        inj = FaultInjector(FaultConfig(crash_p=1.0, seed=0, crash_mode="kill"))
+        with ThreadExecutor(n_workers=2) as ex, fault_injection(inj):
+            assert ex.map(double, [1, 2]) == [2, 4]

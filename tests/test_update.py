@@ -183,3 +183,36 @@ class TestEventStream:
             apply_batch(est, ConstraintBatch(tuple(cons)))
         by = rec.flops_by_category()
         assert by[OpCategory.MATMAT] == max(by.values())
+
+
+class TestIllConditioning:
+    def test_duplicate_constraints_converge_via_backoff(self):
+        """Regression: many duplicated near-exact distance constraints drive
+        the innovation covariance toward singularity; the escalating
+        regularization retry must absorb the failure instead of raising
+        NotPositiveDefiniteError."""
+        est = StructureEstimate.from_coords(
+            np.array([[0.0, 0.0, 0.0], [1.0, 0.0, 0.0]]), sigma=1.0
+        )
+        duplicates = tuple(DistanceConstraint(0, 1, 2.0, 1e-18) for _ in range(8))
+        log = []
+        post = apply_batch(est, ConstraintBatch(duplicates), retry_log=log)
+        assert np.all(np.isfinite(post.mean))
+        assert np.all(np.isfinite(post.covariance))
+        d = float(np.linalg.norm(post.coords[1] - post.coords[0]))
+        assert d == pytest.approx(2.0, abs=1e-6)
+        # any retries that happened must have ended in success
+        assert all(r.succeeded for r in log)
+
+    def test_duplicate_constraints_fail_without_retries(self):
+        """The same batch with retries disabled shows why they exist."""
+        from repro.errors import NotPositiveDefiniteError
+
+        est = StructureEstimate.from_coords(
+            np.array([[0.0, 0.0, 0.0], [1.0, 0.0, 0.0]]), sigma=1.0
+        )
+        duplicates = tuple(DistanceConstraint(0, 1, 2.0, 1e-18) for _ in range(8))
+        with pytest.raises(NotPositiveDefiniteError):
+            apply_batch(
+                est, ConstraintBatch(duplicates), options=UpdateOptions(jitter=0.0)
+            )
