@@ -9,41 +9,64 @@ Environment knobs:
 * ``REPRO_BENCH_QUICK=1`` — shrink workloads (shorter helices, sparser
   grids) so the whole benchmark suite runs in under a minute.  Default is
   the paper's full sizes.
+* ``REPRO_BENCH_OBS_DIR=<dir>`` — run the recorded cycles under the
+  :mod:`repro.obs` tracer/metrics and drop ``<label>.trace.json``,
+  ``<label>.spans.jsonl`` and ``<label>.metrics.json`` into ``<dir>``
+  (created if missing), so benchmark runs leave Perfetto-loadable
+  timeline artifacts.
 """
 
 from __future__ import annotations
 
 import os
+from pathlib import Path
 
 import pytest
 
+from repro import obs
 from repro.core.hier_solver import HierarchicalSolver
 from repro.molecules.ribosome import build_ribo30s
 from repro.molecules.rna import build_helix
 
 QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+OBS_DIR = os.environ.get("REPRO_BENCH_OBS_DIR", "")
 
 
 def quick() -> bool:
     return QUICK
 
 
+def _recorded_cycle(problem, label: str):
+    """Run one cycle, optionally emitting obs artifacts for the workload."""
+    solver = HierarchicalSolver(problem.hierarchy, batch_size=16)
+    estimate = problem.initial_estimate(0)
+    if not OBS_DIR:
+        return solver.run_cycle(estimate)
+    out = Path(OBS_DIR)
+    out.mkdir(parents=True, exist_ok=True)
+    tracer, registry = obs.Tracer(), obs.MetricsRegistry()
+    with obs.tracing(tracer), obs.metrics_scope(registry):
+        cycle = solver.run_cycle(estimate)
+    obs.write_chrome_trace(tracer, out / f"{label}.trace.json")
+    obs.write_spans_jsonl(tracer, out / f"{label}.spans.jsonl")
+    obs.write_metrics_json(
+        registry, out / f"{label}.metrics.json", extra={"workload": label}
+    )
+    return cycle
+
+
 @pytest.fixture(scope="session")
 def helix16_cycle():
     problem = build_helix(8 if QUICK else 16)
     problem.assign()
-    solver = HierarchicalSolver(problem.hierarchy, batch_size=16)
-    cycle = solver.run_cycle(problem.initial_estimate(0))
-    return problem, cycle
+    return problem, _recorded_cycle(problem, problem.name)
 
 
 @pytest.fixture(scope="session")
 def ribo_cycle():
     problem = build_ribo30s()
     problem.assign()
-    solver = HierarchicalSolver(problem.hierarchy, batch_size=16)
-    cycle = solver.run_cycle(problem.initial_estimate(0))
-    return problem, cycle
+    return problem, _recorded_cycle(problem, problem.name)
 
 
 @pytest.fixture(scope="session")

@@ -8,10 +8,16 @@ Usage::
     python -m repro info helix8.npz
     python -m repro solve helix8.npz --out solved.npz --cycles 20 \
         --decomposition saved --anneal 100,0.5
+    python -m repro solve helix8.npz --trace trace.json \
+        --metrics-out metrics.json --obs-summary
     python -m repro simulate helix8.npz --machine dash --processors 1,2,4,8
 
-``solve`` writes the posterior estimate; ``simulate`` prices one recorded
-cycle of the saved problem on a modeled machine (Tables 3-6 style).
+``solve`` writes the posterior estimate (plus, with ``--out``, a
+``<out>.summary.json`` sidecar with convergence and robustness stats);
+``--trace``/``--metrics-out``/``--obs-summary`` export the
+:mod:`repro.obs` timeline and metrics (see docs/observability.md);
+``simulate`` prices one recorded cycle of the saved problem on a modeled
+machine (Tables 3-6 style).
 """
 
 from __future__ import annotations
@@ -78,6 +84,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     import contextlib
 
     from repro import io as rio
+    from repro import obs
     from repro.core.estimator import StructureEstimator
     from repro.core.update import UpdateOptions
     from repro.faults import FaultConfig, FaultInjector, fault_injection
@@ -105,7 +112,16 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         except ValueError as exc:
             raise SystemExit(f"--faults: {exc}") from exc
         scope = fault_injection(injector)
-    with scope:
+    tracer = obs.Tracer() if (args.trace or args.obs_summary) else None
+    registry = (
+        obs.MetricsRegistry() if (args.metrics_out or args.obs_summary) else None
+    )
+    with contextlib.ExitStack() as stack:
+        stack.enter_context(scope)
+        if tracer is not None:
+            stack.enter_context(obs.tracing(tracer))
+        if registry is not None:
+            stack.enter_context(obs.metrics_scope(registry))
         solution = estimator.solve(
             initial,
             max_cycles=args.cycles,
@@ -133,10 +149,71 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             ch: c["injected"] for ch, c in injector.summary().items() if c["injected"]
         }
         print(f"injected faults: {injected if injected else 'none'}")
+    if args.trace and tracer is not None:
+        if str(args.trace).endswith(".jsonl"):
+            obs.write_spans_jsonl(tracer, args.trace)
+        else:
+            obs.write_chrome_trace(tracer, args.trace)
+        print(f"wrote trace to {args.trace}")
+    if args.metrics_out and registry is not None:
+        obs.write_metrics_json(
+            registry, args.metrics_out, extra={"problem": problem.name}
+        )
+        print(f"wrote metrics to {args.metrics_out}")
+    if args.obs_summary and tracer is not None and registry is not None:
+        print()
+        print(obs.format_obs_summary(tracer, registry))
     if args.out:
         rio.save_estimate(args.out, solution.estimate)
         print(f"wrote estimate to {args.out}")
+        summary_path = _write_solve_summary(
+            args, problem, solution, injector, residuals
+        )
+        print(f"wrote summary to {summary_path}")
     return 0
+
+
+def _write_solve_summary(args, problem, solution, injector, residuals):
+    """Sidecar ``<out>.summary.json`` with convergence and robustness stats."""
+    import json
+    from pathlib import Path
+
+    report = solution.report
+    out = Path(args.out)
+    path = out.parent / (out.stem + ".summary.json")
+    recovered = sum(1 for r in report.retries if r.succeeded)
+    summary = {
+        "problem": problem.name,
+        "n_atoms": problem.n_atoms,
+        "converged": bool(report.converged),
+        "cycles": int(report.cycles),
+        "last_delta": float(report.deltas[-1]) if report.deltas else None,
+        "mean_abs_residual": float(np.mean(residuals)) if residuals else None,
+        "mean_atom_uncertainty": float(
+            solution.estimate.atom_uncertainty().mean()
+        ),
+        "robustness": {
+            "retried_batch_updates": len(report.retries),
+            "recovered_batch_updates": recovered,
+            "quarantined_batches": len(report.quarantine),
+            "quarantined_constraints": int(report.quarantined_constraints),
+            "quarantined_rows": int(report.quarantined_rows),
+        },
+        "faults_injected": (
+            {ch: c["injected"] for ch, c in injector.summary().items()}
+            if injector is not None
+            else None
+        ),
+        "artifacts": {
+            "estimate": str(args.out),
+            "trace": str(args.trace) if args.trace else None,
+            "metrics": str(args.metrics_out) if args.metrics_out else None,
+        },
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(summary, fh, indent=2)
+        fh.write("\n")
+    return path
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -207,6 +284,25 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=8,
         help="regularization retries per batch before it is quarantined",
+    )
+    solve.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="write a span trace of the solve: Chrome trace-event JSON "
+        "(open in Perfetto / chrome://tracing), or flat span records if "
+        "PATH ends in .jsonl",
+    )
+    solve.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="PATH",
+        help="write solve metrics (counters/gauges/histograms) as JSON",
+    )
+    solve.add_argument(
+        "--obs-summary",
+        action="store_true",
+        help="print the per-category kernel and span summary after solving",
     )
     solve.set_defaults(fn=_cmd_solve)
 

@@ -20,6 +20,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.constraints.base import Constraint
 from repro.core.convergence import ConvergenceReport
 from repro.core.flat import FlatSolver
@@ -173,13 +174,26 @@ class StructureEstimator:
             solver = HierarchicalSolver(
                 hierarchy, self.batch_size, self.options, checkpoint=checkpoint
             )
-        report = solver.solve(
-            estimate,
-            max_cycles=max_cycles,
-            tol=tol,
-            gauge_invariant=gauge_invariant,
-            anneal=anneal,
+        decomposition = (
+            self._decomposition
+            if isinstance(self._decomposition, str)
+            else "custom"
         )
+        with obs.span(
+            "solve",
+            cat="solve",
+            decomposition=decomposition,
+            n_atoms=self.n_atoms,
+            n_constraints=len(self.constraints),
+            max_cycles=max_cycles,
+        ):
+            report = solver.solve(
+                estimate,
+                max_cycles=max_cycles,
+                tol=tol,
+                gauge_invariant=gauge_invariant,
+                anneal=anneal,
+            )
         return Solution(estimate=report.estimate, report=report)
 
     # ---------------------------------------------------------- diagnostics

@@ -13,6 +13,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.constraints.base import Constraint
 from repro.constraints.batch import make_batches
 from repro.core.state import StructureEstimate
@@ -78,7 +79,13 @@ class FlatSolver:
         quarantined: list[QuarantineRecord] = []
         retries: list[RetryReport] = []
         timer = Timer()
-        with recording(rec):
+        with obs.span(
+            "cycle",
+            cat="solve",
+            solver="flat",
+            rows=self.n_constraint_rows,
+            n_batches=len(self.batches),
+        ), recording(rec):
             with timer:
                 current = estimate
                 with rec.tagged("flat"):
@@ -88,6 +95,13 @@ class FlatSolver:
                                 current, batch, None, opts, retry_log=retries
                             )
                         except BatchUpdateError as exc:
+                            obs.instant(
+                                "batch.quarantined",
+                                cat="fault",
+                                nid="flat",
+                                rows=batch.dimension,
+                            )
+                            obs.inc("solve.batches_quarantined")
                             quarantined.append(
                                 QuarantineRecord(
                                     nid="flat",
@@ -96,6 +110,7 @@ class FlatSolver:
                                     reason=str(exc),
                                 )
                             )
+        obs.inc("solve.cycles")
         return FlatCycleResult(
             current,
             timer.elapsed,

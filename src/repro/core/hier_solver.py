@@ -27,6 +27,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro import obs
 from repro.constraints.batch import make_batches
 from repro.core.hierarchy import Hierarchy, HierarchyNode
 from repro.core.state import StructureEstimate
@@ -158,7 +159,14 @@ class HierarchicalSolver:
         retries: list[RetryReport] = []
         resumed = 0
         total_timer = Timer()
-        with recording(rec):
+        with obs.span(
+            "cycle",
+            cat="solve",
+            cycle=cycle,
+            solver="hier",
+            nodes=len(self.hierarchy.nodes),
+            rows=self.n_constraint_rows,
+        ), recording(rec):
             with total_timer:
                 for node in self.hierarchy.post_order():
                     if ck is not None and ck.has_node(node.nid):
@@ -175,6 +183,7 @@ class HierarchicalSolver:
                     )
                     if ck is not None:
                         ck.save_node(node.nid, node_results[node.nid])
+        obs.inc("solve.cycles")
         root = self.hierarchy.root
         final = estimate.copy()
         node_results[root.nid].scatter_into(final, root.atoms)
@@ -204,7 +213,16 @@ class HierarchicalSolver:
         retries: list[RetryReport],
     ) -> StructureEstimate:
         timer = Timer()
-        with rec.tagged(node.nid):
+        with obs.span(
+            f"node[{node.nid}]",
+            cat="solve",
+            nid=node.nid,
+            node_name=node.name,
+            depth=node.depth,
+            state_dim=node.state_dim,
+            rows=node.n_constraint_rows,
+            leaf=node.is_leaf,
+        ) as sp, rec.tagged(node.nid):
             n_events_before = len(rec.events)
             with timer:
                 if node.is_leaf:
@@ -217,6 +235,8 @@ class HierarchicalSolver:
                 local, n_batches = self._compute_node(
                     node, prior, opts, quarantined, retries
                 )
+            if sp is not None:
+                sp.attrs["n_batches"] = n_batches
             events = rec.events[n_events_before:]
         records.append(
             NodeSolveRecord(
@@ -257,6 +277,10 @@ class HierarchicalSolver:
                 return self._apply_node_batches(node, prior, opts, quarantined, retries)
             except WorkerCrashError:
                 crashes += 1
+                obs.instant(
+                    "node.restart", cat="fault", nid=node.nid, attempt=crashes
+                )
+                obs.inc("solve.node_restarts")
                 if crashes >= self.node_crash_attempts:
                     raise
 
@@ -277,6 +301,13 @@ class HierarchicalSolver:
             try:
                 local = apply_batch(local, batch, cmap, opts, retry_log=retries)
             except BatchUpdateError as exc:
+                obs.instant(
+                    "batch.quarantined",
+                    cat="fault",
+                    nid=node.nid,
+                    rows=batch.dimension,
+                )
+                obs.inc("solve.batches_quarantined")
                 quarantined.append(
                     QuarantineRecord(
                         nid=node.nid,

@@ -31,6 +31,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.constraints.batch import ConstraintBatch, assemble_batch
 from repro.core.state import StructureEstimate
 from repro.errors import (
@@ -114,14 +115,23 @@ def apply_batch(
     n = x.shape[0]
     injector = current_injector()
 
-    for _ in range(options.local_iterations):
-        coords_owner = _CoordsView(x, atom_to_column)
-        z, h, big_h, r = assemble_batch(
-            batch, coords_owner.coords, atom_to_column, n_columns=n
-        )
-        if options.noise_scale != 1.0:
-            r = r * options.noise_scale
-        x, c = _update_with_retry(x, c, z, h, big_h, r, n, options, injector, retry_log)
+    with obs.span(
+        "batch",
+        cat="update",
+        rows=batch.dimension,
+        n_constraints=len(batch.constraints),
+        state_dim=int(n),
+    ):
+        for _ in range(options.local_iterations):
+            coords_owner = _CoordsView(x, atom_to_column)
+            z, h, big_h, r = assemble_batch(
+                batch, coords_owner.coords, atom_to_column, n_columns=n
+            )
+            if options.noise_scale != 1.0:
+                r = r * options.noise_scale
+            x, c = _update_with_retry(
+                x, c, z, h, big_h, r, n, options, injector, retry_log
+            )
 
     return StructureEstimate(x, c)
 
@@ -158,21 +168,35 @@ def _update_with_retry(
             failures.append(
                 RetryAttempt(regularization=reg, error=type(exc).__name__, message=str(exc))
             )
+            obs.instant(
+                "update.retry",
+                cat="fault",
+                attempt=attempt,
+                regularization=reg,
+                error=type(exc).__name__,
+            )
+            obs.inc("update.retry_total")
             if not retries_enabled:
                 raise  # robustness disabled (jitter=0): preserve the failure
             continue
-        if failures and retry_log is not None:
-            retry_log.append(
-                RetryReport(
-                    attempts=tuple(failures), succeeded=True, final_regularization=reg
+        if failures:
+            obs.inc("update.retry_recovered")
+            if retry_log is not None:
+                retry_log.append(
+                    RetryReport(
+                        attempts=tuple(failures),
+                        succeeded=True,
+                        final_regularization=reg,
+                    )
                 )
-            )
         return x_new, c_new
     report = RetryReport(
         attempts=tuple(failures), succeeded=False, final_regularization=reg
     )
     if retry_log is not None:
         retry_log.append(report)
+    obs.instant("update.batch_failed", cat="fault", attempts=max_attempts)
+    obs.inc("update.batch_failures")
     raise BatchUpdateError(
         f"batch update failed terminally after {max_attempts} attempts "
         f"(last error: {failures[-1].message})",

@@ -28,6 +28,7 @@ import json
 import os
 from pathlib import Path
 
+from repro import obs
 from repro.core.state import StructureEstimate
 from repro.errors import CheckpointError
 from repro.io import load_estimate, save_estimate
@@ -101,6 +102,8 @@ class CheckpointManager:
         if not path.exists():
             raise CheckpointError(f"manifest lists cycle {k} but {path} is missing")
         self.cycles_replayed += 1
+        obs.instant("checkpoint.cycle_replayed", cat="checkpoint", cycle=k)
+        obs.inc("checkpoint.cycles_replayed")
         return load_estimate(path)
 
     def start_cycle(self, k: int) -> None:
@@ -114,7 +117,8 @@ class CheckpointManager:
 
     def finish_cycle(self, k: int, estimate: StructureEstimate) -> None:
         """Record cycle ``k`` complete with ``estimate`` as its output."""
-        save_estimate(self._cycle_path(k), estimate, atomic=True)
+        with obs.span("checkpoint.finish_cycle", cat="checkpoint", cycle=k):
+            save_estimate(self._cycle_path(k), estimate, atomic=True)
         if k not in self._manifest["completed_cycles"]:
             self._manifest["completed_cycles"].append(k)
         self._manifest["current_cycle"] = None
@@ -134,13 +138,17 @@ class CheckpointManager:
         if not self.has_node(nid) or not path.exists():
             raise CheckpointError(f"no checkpoint for node {nid} in {self.directory}")
         self.nodes_resumed += 1
-        return load_estimate(path)
+        obs.inc("checkpoint.nodes_resumed")
+        with obs.span("checkpoint.load_node", cat="checkpoint", nid=nid):
+            return load_estimate(path)
 
     def save_node(self, nid: int, estimate: StructureEstimate) -> None:
-        save_estimate(self._node_path(nid), estimate, atomic=True)
-        if nid not in self._manifest["completed_nodes"]:
-            self._manifest["completed_nodes"].append(nid)
-        self._write_manifest()
+        with obs.span("checkpoint.save_node", cat="checkpoint", nid=nid):
+            save_estimate(self._node_path(nid), estimate, atomic=True)
+            if nid not in self._manifest["completed_nodes"]:
+                self._manifest["completed_nodes"].append(nid)
+            self._write_manifest()
+        obs.inc("checkpoint.nodes_saved")
 
     def _discard_node_files(self) -> None:
         for path in self.directory.glob("node_*.npz"):

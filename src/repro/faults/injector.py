@@ -42,6 +42,7 @@ from typing import Iterator
 
 import numpy as np
 
+from repro import obs
 from repro.errors import InjectedFaultError, WorkerCrashError
 
 CHANNELS = ("nan", "chol", "corrupt", "crash", "slow")
@@ -136,6 +137,8 @@ class FaultInjector:
         hit = bool(self._rngs[channel].random() < p)
         if hit:
             self.injected[channel] += 1
+            obs.instant("fault.injected", cat="fault", channel=channel)
+            obs.inc(f"faults.injected.{channel}")
         return hit
 
     # ---------------------------------------------------------- channel hooks

@@ -78,7 +78,7 @@ def cholesky_factor(
     seconds = timed() - t0
     flops = m**3 / 3.0
     emit(OpCategory.CHOLESKY, flops, 8.0 * 2 * s.size, (m,), seconds,
-         parallel_rows=max(1, m // (block or 16)))
+         parallel_rows=max(1, m // (block or 16)), op="cholesky_factor")
     return lower
 
 

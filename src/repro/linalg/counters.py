@@ -16,12 +16,15 @@ stream's wall times per category.
 
 from __future__ import annotations
 
-import time
 from contextlib import contextmanager
 from contextvars import ContextVar
 from dataclasses import dataclass, field
 from enum import Enum
 from typing import Iterator
+
+from repro.obs.metrics import current_metrics
+from repro.obs.tracer import current_tracer
+from repro.util.timer import wall_clock
 
 
 class OpCategory(str, Enum):
@@ -187,13 +190,37 @@ def emit(
     shape: tuple[int, ...],
     seconds: float,
     parallel_rows: int = 1,
+    op: str = "",
 ) -> None:
-    """Record an event on the active recorder, if any (kernel-side helper)."""
+    """Record an event on the active recorder, if any (kernel-side helper).
+
+    ``op`` names the specific kernel ("gemm", "solve_lower", ...) for the
+    observability layer; the recorder itself keys on ``category`` only.
+    When a :mod:`repro.obs` tracer or metrics registry is active the call
+    additionally becomes a ``kernel`` span / kernel counters — this is
+    the one choke point through which every instrumented kernel flows.
+    """
     rec = _ACTIVE.get()
     if rec is not None:
         rec.record(category, flops, nbytes, shape, seconds, parallel_rows)
+    tracer = current_tracer()
+    if tracer is not None:
+        end = tracer.clock.now()
+        tracer.complete(
+            op or category.value,
+            "kernel",
+            end - seconds,
+            end,
+            op_category=category.value,
+            flops=flops,
+            bytes=nbytes,
+            shape=list(shape),
+        )
+    registry = current_metrics()
+    if registry is not None:
+        registry.record_kernel(category.value, flops, seconds)
 
 
 def timed() -> float:
-    """Timestamp helper shared by kernels (monotonic seconds)."""
-    return time.perf_counter()
+    """Timestamp helper shared by kernels (process-default clock seconds)."""
+    return wall_clock().now()

@@ -39,7 +39,7 @@ def gemm(a: np.ndarray, b: np.ndarray, category: OpCategory = OpCategory.MATMAT)
     t0 = timed()
     out = a @ b
     seconds = timed() - t0
-    emit(category, 2.0 * p * q * r, 8.0 * (a.size + b.size + out.size), (p, q, r), seconds, parallel_rows=p)
+    emit(category, 2.0 * p * q * r, 8.0 * (a.size + b.size + out.size), (p, q, r), seconds, parallel_rows=p, op="gemm")
     return _maybe_poison(out, "gemm")
 
 
@@ -53,7 +53,7 @@ def gemv(a: np.ndarray, x: np.ndarray) -> np.ndarray:
     t0 = timed()
     out = a @ x
     seconds = timed() - t0
-    emit(OpCategory.MATVEC, 2.0 * p * q, 8.0 * (a.size + x.size + out.size), (p, q), seconds, parallel_rows=p)
+    emit(OpCategory.MATVEC, 2.0 * p * q, 8.0 * (a.size + x.size + out.size), (p, q), seconds, parallel_rows=p, op="gemv")
     return _maybe_poison(out, "gemv")
 
 
@@ -78,7 +78,7 @@ def outer_update(c: np.ndarray, k: np.ndarray, cht: np.ndarray) -> np.ndarray:
     out = c - k @ cht.T
     seconds = timed() - t0
     flops = 2.0 * n * n * m + n * n
-    emit(OpCategory.MATMAT, flops, 8.0 * (c.size + k.size + cht.size + out.size), (n, m), seconds, parallel_rows=n)
+    emit(OpCategory.MATMAT, flops, 8.0 * (c.size + k.size + cht.size + out.size), (n, m), seconds, parallel_rows=n, op="outer_update")
     return _maybe_poison(out, "outer_update")
 
 
@@ -93,7 +93,7 @@ def add_diagonal(a: np.ndarray, d: np.ndarray | float) -> np.ndarray:
     idx = np.arange(m)
     out[idx, idx] += d
     seconds = timed() - t0
-    emit(OpCategory.VECTOR, float(m), 8.0 * (a.size + m), (m,), seconds, parallel_rows=m)
+    emit(OpCategory.VECTOR, float(m), 8.0 * (a.size + m), (m,), seconds, parallel_rows=m, op="add_diagonal")
     return out
 
 
@@ -106,7 +106,7 @@ def axpy(alpha: float, x: np.ndarray, y: np.ndarray) -> np.ndarray:
     t0 = timed()
     out = alpha * x + y
     seconds = timed() - t0
-    emit(OpCategory.VECTOR, 2.0 * x.size, 8.0 * 3 * x.size, (x.size,), seconds, parallel_rows=x.size)
+    emit(OpCategory.VECTOR, 2.0 * x.size, 8.0 * 3 * x.size, (x.size,), seconds, parallel_rows=x.size, op="axpy")
     return out
 
 
@@ -124,7 +124,7 @@ def vec_sub(x: np.ndarray, y: np.ndarray) -> np.ndarray:
     t0 = timed()
     out = x - y
     seconds = timed() - t0
-    emit(OpCategory.VECTOR, float(x.size), 8.0 * 3 * x.size, (x.size,), seconds, parallel_rows=x.size)
+    emit(OpCategory.VECTOR, float(x.size), 8.0 * 3 * x.size, (x.size,), seconds, parallel_rows=x.size, op="vec_sub")
     return out
 
 
@@ -136,5 +136,5 @@ def vec_scale(alpha: float, x: np.ndarray) -> np.ndarray:
     t0 = timed()
     out = alpha * x
     seconds = timed() - t0
-    emit(OpCategory.VECTOR, float(x.size), 8.0 * 2 * x.size, (x.size,), seconds, parallel_rows=x.size)
+    emit(OpCategory.VECTOR, float(x.size), 8.0 * 2 * x.size, (x.size,), seconds, parallel_rows=x.size, op="vec_scale")
     return out

@@ -147,7 +147,7 @@ class CSRMatrix:
         seconds = timed() - t0
         flops = 2.0 * self.nnz * k
         nbytes = 8.0 * (self.nnz * (k + 1) + out.size)
-        emit(OpCategory.DENSE_SPARSE, flops, nbytes, (m, n, k), seconds, parallel_rows=m)
+        emit(OpCategory.DENSE_SPARSE, flops, nbytes, (m, n, k), seconds, parallel_rows=m, op="spmm")
         return out
 
     def rmatmul_dense(self, a: np.ndarray) -> np.ndarray:
@@ -173,7 +173,7 @@ class CSRMatrix:
         seconds = timed() - t0
         flops = 2.0 * self.nnz * k
         nbytes = 8.0 * (self.nnz * (k + 1) + out.size)
-        emit(OpCategory.DENSE_SPARSE, flops, nbytes, (k, n, m), seconds, parallel_rows=k)
+        emit(OpCategory.DENSE_SPARSE, flops, nbytes, (k, n, m), seconds, parallel_rows=k, op="rspmm")
         return out
 
     def matvec(self, x: np.ndarray) -> np.ndarray:
@@ -189,7 +189,7 @@ class CSRMatrix:
         row_ids = np.repeat(np.arange(m), row_counts)
         np.add.at(out, row_ids, prod)
         seconds = timed() - t0
-        emit(OpCategory.MATVEC, 2.0 * self.nnz, 8.0 * (2 * self.nnz + m), (m, n), seconds, parallel_rows=m)
+        emit(OpCategory.MATVEC, 2.0 * self.nnz, 8.0 * (2 * self.nnz + m), (m, n), seconds, parallel_rows=m, op="spmv")
         return out
 
     def restrict_columns(self, columns: np.ndarray) -> "CSRMatrix":

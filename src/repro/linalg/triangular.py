@@ -34,7 +34,7 @@ def solve_lower(lower: np.ndarray, b: np.ndarray) -> np.ndarray:
     t0 = timed()
     out = scipy.linalg.solve_triangular(lower, b, lower=True, check_finite=False)
     seconds = timed() - t0
-    emit(OpCategory.SYSTEM, float(m) * m * k, 8.0 * (lower.size + 2 * b.size), (m, k), seconds, parallel_rows=k)
+    emit(OpCategory.SYSTEM, float(m) * m * k, 8.0 * (lower.size + 2 * b.size), (m, k), seconds, parallel_rows=k, op="solve_lower")
     return out
 
 
@@ -44,5 +44,5 @@ def solve_upper(upper: np.ndarray, b: np.ndarray) -> np.ndarray:
     t0 = timed()
     out = scipy.linalg.solve_triangular(upper, b, lower=False, check_finite=False)
     seconds = timed() - t0
-    emit(OpCategory.SYSTEM, float(m) * m * k, 8.0 * (upper.size + 2 * b.size), (m, k), seconds, parallel_rows=k)
+    emit(OpCategory.SYSTEM, float(m) * m * k, 8.0 * (upper.size + 2 * b.size), (m, k), seconds, parallel_rows=k, op="solve_upper")
     return out

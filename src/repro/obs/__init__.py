@@ -1,0 +1,95 @@
+"""repro.obs — runtime observability for the hierarchical solve.
+
+The subsystem has three pieces, all disabled by default and activated
+with contextvar scopes so an uninstrumented run stays bit-identical:
+
+* **Span tracing** (:mod:`repro.obs.tracer`) — ``with tracing(Tracer())``
+  turns on span collection; the solvers, executors, kernels, fault
+  injector and checkpoint manager bracket their work in nested spans
+  (cycle → node → batch → kernel) with structured attributes.
+* **Metrics** (:mod:`repro.obs.metrics`) — ``with metrics_scope(...)``
+  collects counters/gauges/histograms (retries, quarantines, kernel
+  FLOPs, executor resubmissions, checkpoint I/O).
+* **Exporters** (:mod:`repro.obs.export`) — Chrome trace-event JSON for
+  ``chrome://tracing``/Perfetto, a flat JSONL span log, and a terminal
+  per-category summary; :mod:`repro.obs.validate` checks exported traces
+  against the trace-event schema.
+
+Typical use::
+
+    from repro import obs
+
+    tracer, registry = obs.Tracer(), obs.MetricsRegistry()
+    with obs.tracing(tracer), obs.metrics_scope(registry):
+        solver.run_cycle(estimate)
+    obs.write_chrome_trace(tracer, "solve_trace.json")
+    print(obs.format_obs_summary(tracer, registry))
+
+Instrumented library code uses the module-level no-op-when-inactive
+hooks (:func:`obs.span`, :func:`obs.instant`, :func:`obs.inc`,
+:func:`obs.observe`, :func:`obs.set_gauge`) so hook sites cost one
+contextvar read when observability is off.
+"""
+
+from repro.obs.export import (
+    chrome_trace_events,
+    format_obs_summary,
+    write_chrome_trace,
+    write_metrics_json,
+    write_spans_jsonl,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    current_metrics,
+    inc,
+    metrics_scope,
+    observe,
+    set_gauge,
+)
+from repro.obs.tracer import (
+    Instant,
+    Span,
+    Tracer,
+    current_tracer,
+    instant,
+    span,
+    tracing,
+)
+def __getattr__(name: str):
+    # Lazy: keeps ``python -m repro.obs.validate`` free of the runpy
+    # double-import warning while still exporting the validate API here.
+    if name in ("trace_stats", "validate_chrome_trace"):
+        from repro.obs import validate
+
+        return getattr(validate, name)
+    raise AttributeError(f"module 'repro.obs' has no attribute {name!r}")
+
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Instant",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "chrome_trace_events",
+    "current_metrics",
+    "current_tracer",
+    "format_obs_summary",
+    "inc",
+    "instant",
+    "metrics_scope",
+    "observe",
+    "set_gauge",
+    "span",
+    "trace_stats",
+    "tracing",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "write_metrics_json",
+    "write_spans_jsonl",
+]

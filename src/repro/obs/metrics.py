@@ -1,0 +1,216 @@
+"""Runtime metrics: counters, gauges and summary histograms.
+
+A :class:`MetricsRegistry` is a flat, thread-safe name → metric map fed
+by the solvers, executors, kernels and the fault/retry machinery.  The
+registry follows the library's contextvar activation pattern
+(:func:`metrics_scope` / :func:`current_metrics`); the module-level
+helpers :func:`inc`, :func:`set_gauge` and :func:`observe` are the
+no-op-when-inactive hooks instrumented code calls.
+
+Metric name conventions (dot-separated, lowercase):
+
+=================================  =============================================
+``solve.cycles``                   counter — solver cycles completed
+``solve.batches_quarantined``      counter — batches excluded after terminal failure
+``solve.node_restarts``            counter — node-level crash restarts absorbed
+``update.retry_total``             counter — failed update attempts that retried
+``update.retry_recovered``         counter — retry sequences that then succeeded
+``update.batch_failures``          counter — retry sequences that failed terminally
+``kernel.calls`` / ``.flops`` /    counters — totals over all kernel invocations,
+``kernel.seconds``                 plus ``kernel.<metric>.<cat>`` per category
+``executor.tasks_resubmitted``     counter — tasks re-run after worker crashes
+``executor.pool_rebuilds``         counter — broken process pools rebuilt
+``checkpoint.nodes_saved`` /       counters — checkpoint I/O volume
+``.nodes_resumed`` / ``.cycles_replayed``
+``faults.injected.<channel>``      counter — faults actually injected per channel
+=================================  =============================================
+
+Workers in other processes collect into their own registry and ship
+:meth:`MetricsRegistry.snapshot` back with their results; the parent
+folds it in with :meth:`MetricsRegistry.merge_snapshot`.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Iterator
+
+
+class Counter:
+    """Monotonically increasing value (float to carry FLOP totals)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, n: float = 1.0) -> None:
+        self.value += n
+
+
+class Gauge:
+    """Last-write-wins value (queue depths, active workers...)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, v: float) -> None:
+        self.value = float(v)
+
+
+class Histogram:
+    """Streaming summary: count, sum, min, max (no bucket storage).
+
+    Enough to answer "how many, how much, how extreme" for batch sizes
+    and per-region seconds without unbounded memory.
+    """
+
+    __slots__ = ("count", "total", "vmin", "vmax")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.vmin = float("inf")
+        self.vmax = float("-inf")
+
+    def observe(self, v: float) -> None:
+        v = float(v)
+        self.count += 1
+        self.total += v
+        if v < self.vmin:
+            self.vmin = v
+        if v > self.vmax:
+            self.vmax = v
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Thread-safe registry of named counters, gauges and histograms."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # --------------------------------------------------------- get-or-create
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            metric = self._counters.get(name)
+            if metric is None:
+                metric = self._counters[name] = Counter()
+            return metric
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            metric = self._gauges.get(name)
+            if metric is None:
+                metric = self._gauges[name] = Gauge()
+            return metric
+
+    def histogram(self, name: str) -> Histogram:
+        with self._lock:
+            metric = self._histograms.get(name)
+            if metric is None:
+                metric = self._histograms[name] = Histogram()
+            return metric
+
+    # ------------------------------------------------------------ kernel hot path
+    def record_kernel(self, cat: str, flops: float, seconds: float) -> None:
+        """One kernel invocation: totals plus per-category breakdown."""
+        self.counter("kernel.calls").inc()
+        self.counter("kernel.flops").inc(flops)
+        self.counter("kernel.seconds").inc(seconds)
+        self.counter(f"kernel.calls.{cat}").inc()
+        self.counter(f"kernel.flops.{cat}").inc(flops)
+        self.counter(f"kernel.seconds.{cat}").inc(seconds)
+
+    # ------------------------------------------------------------- transport
+    def snapshot(self) -> dict:
+        """JSON-serializable state, also the cross-process wire format."""
+        with self._lock:
+            return {
+                "counters": {k: c.value for k, c in sorted(self._counters.items())},
+                "gauges": {k: g.value for k, g in sorted(self._gauges.items())},
+                "histograms": {
+                    k: {
+                        "count": h.count,
+                        "total": h.total,
+                        "min": h.vmin if h.count else 0.0,
+                        "max": h.vmax if h.count else 0.0,
+                        "mean": h.mean,
+                    }
+                    for k, h in sorted(self._histograms.items())
+                },
+            }
+
+    def merge_snapshot(self, snap: dict | None) -> None:
+        """Fold a worker registry's :meth:`snapshot` into this registry.
+
+        Counters and histogram summaries accumulate; gauges take the
+        incoming value (last write wins, matching local semantics).
+        """
+        if not snap:
+            return
+        for name, value in snap.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snap.get("gauges", {}).items():
+            self.gauge(name).set(value)
+        for name, h in snap.get("histograms", {}).items():
+            hist = self.histogram(name)
+            if h.get("count", 0):
+                hist.count += int(h["count"])
+                hist.total += float(h["total"])
+                hist.vmin = min(hist.vmin, float(h["min"]))
+                hist.vmax = max(hist.vmax, float(h["max"]))
+
+
+# ----------------------------------------------------------- active context
+_REGISTRY: ContextVar[MetricsRegistry | None] = ContextVar(
+    "repro_obs_metrics", default=None
+)
+
+
+def current_metrics() -> MetricsRegistry | None:
+    """The registry hook sites should consult, or ``None`` (the default)."""
+    return _REGISTRY.get()
+
+
+@contextmanager
+def metrics_scope(registry: MetricsRegistry | None = None) -> Iterator[MetricsRegistry]:
+    """Activate ``registry`` (or a fresh one) for the extent of the block."""
+    reg = registry if registry is not None else MetricsRegistry()
+    token = _REGISTRY.set(reg)
+    try:
+        yield reg
+    finally:
+        _REGISTRY.reset(token)
+
+
+# ------------------------------------------------------------ no-op helpers
+def inc(name: str, n: float = 1.0) -> None:
+    """Increment a counter on the active registry, if any."""
+    reg = _REGISTRY.get()
+    if reg is not None:
+        reg.counter(name).inc(n)
+
+
+def set_gauge(name: str, v: float) -> None:
+    """Set a gauge on the active registry, if any."""
+    reg = _REGISTRY.get()
+    if reg is not None:
+        reg.gauge(name).set(v)
+
+
+def observe(name: str, v: float) -> None:
+    """Observe a histogram sample on the active registry, if any."""
+    reg = _REGISTRY.get()
+    if reg is not None:
+        reg.histogram(name).observe(v)

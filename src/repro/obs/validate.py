@@ -1,0 +1,162 @@
+"""Chrome trace-event schema validation.
+
+Checks the invariants the exporter guarantees and that trace viewers
+depend on: every ``B`` has a matching ``E`` in its lane, lanes use
+consistent integer ``pid``/``tid``, timestamps are non-negative and
+non-decreasing within a lane's duration events, and instant events carry
+a valid scope.  Runnable as a module for the CI smoke step::
+
+    python -m repro.obs.validate trace.json --require-depth 4 \\
+        --expect-name cycle --expect-name batch
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+_PHASES = {"B", "E", "X", "i", "M"}
+
+
+def validate_chrome_trace(doc: object) -> list[str]:
+    """Return a list of schema problems (empty means the trace is valid)."""
+    problems: list[str] = []
+    if not isinstance(doc, dict) or not isinstance(doc.get("traceEvents"), list):
+        return ["top level must be an object with a 'traceEvents' list"]
+    stacks: dict[tuple[int, int], list[tuple[str, int]]] = {}
+    cursors: dict[tuple[int, int], int] = {}
+    for i, ev in enumerate(doc["traceEvents"]):
+        where = f"event {i}"
+        if not isinstance(ev, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in _PHASES:
+            problems.append(f"{where}: unknown or missing phase {ph!r}")
+            continue
+        if not isinstance(ev.get("pid"), int) or not isinstance(ev.get("tid"), int):
+            problems.append(f"{where}: pid/tid must be integers")
+            continue
+        if ph == "M":
+            continue
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            problems.append(f"{where}: ts must be a non-negative number")
+            continue
+        lane = (ev["pid"], ev["tid"])
+        if ph in ("B", "E"):
+            if ts < cursors.get(lane, 0):
+                problems.append(f"{where}: ts decreases within lane {lane}")
+            cursors[lane] = max(cursors.get(lane, 0), int(ts))
+        if ph == "B":
+            name = ev.get("name")
+            if not isinstance(name, str) or not name:
+                problems.append(f"{where}: B event needs a non-empty name")
+                continue
+            stacks.setdefault(lane, []).append((name, i))
+        elif ph == "E":
+            stack = stacks.get(lane)
+            if not stack:
+                problems.append(f"{where}: E without matching B in lane {lane}")
+            else:
+                open_name, _ = stack.pop()
+                # E events may omit the name; when present it must close
+                # the innermost open B (proper nesting).
+                name = ev.get("name")
+                if name is not None and name != open_name:
+                    problems.append(
+                        f"{where}: E {name!r} closes B {open_name!r} in lane {lane}"
+                    )
+        elif ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: X event needs a non-negative dur")
+        elif ph == "i":
+            if ev.get("s", "t") not in ("g", "p", "t"):
+                problems.append(f"{where}: instant scope must be g, p or t")
+    for lane, stack in stacks.items():
+        for name, i in stack:
+            problems.append(f"event {i}: B {name!r} in lane {lane} never closed")
+    return problems
+
+
+def trace_stats(doc: dict) -> dict:
+    """Lane count, span count and maximum nesting depth of a valid trace."""
+    lanes: set[tuple[int, int]] = set()
+    depth = 0
+    max_depth = 0
+    spans = 0
+    depths: dict[tuple[int, int], int] = {}
+    for ev in doc.get("traceEvents", []):
+        ph = ev.get("ph")
+        if ph == "M":
+            continue
+        lane = (ev.get("pid"), ev.get("tid"))
+        lanes.add(lane)
+        if ph == "B":
+            spans += 1
+            depth = depths.get(lane, 0) + 1
+            depths[lane] = depth
+            max_depth = max(max_depth, depth)
+        elif ph == "E":
+            depths[lane] = max(0, depths.get(lane, 0) - 1)
+    return {"lanes": len(lanes), "spans": spans, "max_depth": max_depth}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.validate",
+        description="Validate a Chrome trace-event JSON file",
+    )
+    parser.add_argument("trace", help="path to the trace JSON")
+    parser.add_argument(
+        "--require-depth",
+        type=int,
+        default=0,
+        help="fail unless some lane nests at least this deep",
+    )
+    parser.add_argument(
+        "--expect-name",
+        action="append",
+        default=[],
+        help="fail unless a span with this name prefix exists (repeatable)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        doc = json.loads(Path(args.trace).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"unreadable trace {args.trace}: {exc}", file=sys.stderr)
+        return 1
+    problems = validate_chrome_trace(doc)
+    for problem in problems:
+        print(f"INVALID {problem}", file=sys.stderr)
+    if problems:
+        return 1
+    stats = trace_stats(doc)
+    names = {
+        ev.get("name", "")
+        for ev in doc["traceEvents"]
+        if ev.get("ph") == "B"
+    }
+    for expected in args.expect_name:
+        if not any(name.startswith(expected) for name in names):
+            print(f"INVALID no span named {expected!r} in trace", file=sys.stderr)
+            return 1
+    if stats["max_depth"] < args.require_depth:
+        print(
+            f"INVALID max nesting depth {stats['max_depth']} < "
+            f"required {args.require_depth}",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"valid: {stats['spans']} spans across {stats['lanes']} lanes, "
+        f"max depth {stats['max_depth']}"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -22,6 +22,7 @@ import os
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Sequence, TypeVar
 
+from repro import obs
 from repro.errors import WorkerCrashError
 from repro.faults.injector import current_injector
 
@@ -72,12 +73,28 @@ class Executor(abc.ABC):
         todo = list(range(n))
         rounds = 0
         while todo:
-            done, failed = self._dispatch(fn, [(i, items[i], crash[i]) for i in todo])
+            with obs.span(
+                "executor.dispatch",
+                cat="executor",
+                backend=type(self).__name__,
+                tasks=len(todo),
+                round=rounds,
+            ):
+                done, failed = self._dispatch(
+                    fn, [(i, items[i], crash[i]) for i in todo]
+                )
             results.update(done)
             for i in todo:
                 crash[i] = False  # a resubmitted task is not re-poisoned
             if failed:
                 rounds += 1
+                obs.inc("executor.tasks_resubmitted", len(failed))
+                obs.instant(
+                    "executor.resubmit",
+                    cat="executor",
+                    tasks=len(failed),
+                    round=rounds,
+                )
                 if rounds > self.max_resubmits:
                     raise WorkerCrashError(
                         f"{len(failed)} tasks still lost to worker crashes "
@@ -184,6 +201,8 @@ class ProcessExecutor(Executor):
                 failed.append(i)
                 broken = True
         if broken:
+            obs.inc("executor.pool_rebuilds")
+            obs.instant("executor.pool_rebuild", cat="executor")
             self._pool.shutdown(wait=False, cancel_futures=True)
             self._pool = concurrent.futures.ProcessPoolExecutor(
                 max_workers=self.n_workers

@@ -10,15 +10,20 @@ results with any backend.
 
 Node tasks are self-contained payloads (prior estimate, constraints,
 column map), so they cross process boundaries; each worker records its
-own kernel events and ships them back for merged per-node profiles.
+own kernel events — and, when the dispatching solve is being traced, its
+own spans and metrics — and ships them back for merged per-node
+profiles.  Worker spans keep the worker's pid/tid, which is what gives
+the exported Chrome trace one lane per worker.
 """
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.constraints.base import Constraint
 from repro.constraints.batch import make_batches
 from repro.core.hier_solver import HierCycleResult, NodeSolveRecord
@@ -27,14 +32,19 @@ from repro.core.state import StructureEstimate
 from repro.core.update import UpdateOptions, apply_batch
 from repro.errors import HierarchyError
 from repro.faults.injector import current_injector
-from repro.linalg.counters import KernelEvent, Recorder, recording
+from repro.linalg.counters import KernelEvent, Recorder, current_recorder, recording
 from repro.parallel.executors import Executor, SerialExecutor
 from repro.util.timer import Timer
 
 
 @dataclass
 class _NodeTask:
-    """Picklable description of one node's update."""
+    """Picklable description of one node's update.
+
+    ``trace``/``collect_metrics`` tell the worker to run under a local
+    collecting tracer/registry and ship the records back (contextvars do
+    not cross executor boundaries, so observability is opt-in per task).
+    """
 
     nid: int
     prior: StructureEstimate
@@ -42,9 +52,13 @@ class _NodeTask:
     column_map: np.ndarray
     batch_size: int
     options: UpdateOptions
+    trace: bool = False
+    collect_metrics: bool = False
 
 
-def _run_node_task(task: _NodeTask) -> tuple[int, StructureEstimate, list[KernelEvent], float]:
+def _run_node_task(
+    task: _NodeTask,
+) -> tuple[int, StructureEstimate, list[KernelEvent], float, dict | None]:
     """Worker entry point: apply the node's batches, recording events."""
     rec = Recorder()
     timer = Timer()
@@ -54,11 +68,32 @@ def _run_node_task(task: _NodeTask) -> tuple[int, StructureEstimate, list[Kernel
         # Straggler simulation; crash faults are the executor's concern
         # (it draws one decision per submitted task and resubmits).
         injector.maybe_sleep()
-    with recording(rec), rec.tagged(task.nid), timer:
-        if task.constraints:
-            for batch in make_batches(task.constraints, task.batch_size):
-                estimate = apply_batch(estimate, batch, task.column_map, task.options)
-    return task.nid, estimate, rec.events, timer.elapsed
+    tracer = obs.Tracer() if task.trace else None
+    registry = obs.MetricsRegistry() if task.collect_metrics else None
+    trace_scope = obs.tracing(tracer) if tracer is not None else nullcontext()
+    metrics_scope = (
+        obs.metrics_scope(registry) if registry is not None else nullcontext()
+    )
+    with trace_scope, metrics_scope:
+        with obs.span(
+            f"node[{task.nid}]",
+            cat="solve",
+            nid=task.nid,
+            n_constraints=len(task.constraints),
+            batch_size=task.batch_size,
+        ), recording(rec), rec.tagged(task.nid), timer:
+            if task.constraints:
+                for batch in make_batches(task.constraints, task.batch_size):
+                    estimate = apply_batch(
+                        estimate, batch, task.column_map, task.options
+                    )
+    payload: dict | None = None
+    if tracer is not None or registry is not None:
+        payload = {
+            "trace": tracer.payload() if tracer is not None else None,
+            "metrics": registry.snapshot() if registry is not None else None,
+        }
+    return task.nid, estimate, rec.events, timer.elapsed, payload
 
 
 class ParallelHierarchicalSolver:
@@ -105,28 +140,58 @@ class ParallelHierarchicalSolver:
         total = Timer()
         node_results: dict[int, StructureEstimate] = {}
         records: list[NodeSolveRecord] = []
-        merged = Recorder()
-        with total:
-            for front in self.wavefronts():
-                tasks = [self._make_task(node, estimate, node_results) for node in front]
-                for nid, result, events, seconds in self.executor.map(_run_node_task, tasks):
-                    node = self.hierarchy.node(nid)
-                    node_results[nid] = result
-                    merged.events.extend(events)
-                    records.append(
-                        NodeSolveRecord(
-                            nid=nid,
-                            name=node.name,
-                            depth=node.depth,
-                            state_dim=node.state_dim,
-                            n_constraint_rows=node.n_constraint_rows,
-                            n_batches=len(
-                                make_batches(node.constraints, self.batch_size)
-                            ) if node.constraints else 0,
-                            seconds=seconds,
-                            events=list(events),
+        # Match the serial solver's contract: an outer active recorder
+        # receives every worker's shipped events (workers record locally,
+        # so nothing is double-counted).
+        outer = current_recorder()
+        merged = outer if outer is not None else Recorder()
+        tracer = obs.current_tracer()
+        registry = obs.current_metrics()
+        with obs.span(
+            "cycle",
+            cat="solve",
+            solver="parallel",
+            backend=type(self.executor).__name__,
+            nodes=len(self.hierarchy.nodes),
+            rows=self.n_constraint_rows,
+        ), total:
+            for height, front in enumerate(self.wavefronts()):
+                with obs.span(
+                    f"wavefront[{height}]", cat="solve", nodes=len(front)
+                ) as wf:
+                    tasks = [
+                        self._make_task(node, estimate, node_results)
+                        for node in front
+                    ]
+                    for nid, result, events, seconds, payload in self.executor.map(
+                        _run_node_task, tasks
+                    ):
+                        node = self.hierarchy.node(nid)
+                        node_results[nid] = result
+                        merged.events.extend(events)
+                        if payload is not None:
+                            if tracer is not None and payload["trace"] is not None:
+                                tracer.merge(
+                                    payload["trace"],
+                                    parent_id=wf.span_id if wf is not None else None,
+                                )
+                            if registry is not None:
+                                registry.merge_snapshot(payload["metrics"])
+                        records.append(
+                            NodeSolveRecord(
+                                nid=nid,
+                                name=node.name,
+                                depth=node.depth,
+                                state_dim=node.state_dim,
+                                n_constraint_rows=node.n_constraint_rows,
+                                n_batches=len(
+                                    make_batches(node.constraints, self.batch_size)
+                                ) if node.constraints else 0,
+                                seconds=seconds,
+                                events=list(events),
+                            )
                         )
-                    )
+        obs.inc("solve.cycles")
         root = self.hierarchy.root
         final = estimate.copy()
         node_results[root.nid].scatter_into(final, root.atoms)
@@ -153,4 +218,6 @@ class ParallelHierarchicalSolver:
             column_map=node.column_map(self.hierarchy.n_atoms),
             batch_size=self.batch_size,
             options=self.options,
+            trace=obs.current_tracer() is not None,
+            collect_metrics=obs.current_metrics() is not None,
         )

@@ -3,6 +3,12 @@
 The paper reports "work time": total execution time minus initialization,
 input and output.  :class:`Timer` supports that style of measurement by
 accumulating only explicitly bracketed regions.
+
+Every timing source in the library — kernel event timing in
+:mod:`repro.linalg.counters`, span timing in :mod:`repro.obs`, and the
+region timers below — reads the process-default clock returned by
+:func:`wall_clock`.  Deterministic tests and the machine simulator swap
+the clock in this one place with :func:`set_wall_clock`.
 """
 
 from __future__ import annotations
@@ -18,6 +24,26 @@ class WallClock:
         return time.perf_counter()
 
 
+_DEFAULT_CLOCK: WallClock = WallClock()
+
+
+def wall_clock() -> WallClock:
+    """The process-default clock used by all library timing."""
+    return _DEFAULT_CLOCK
+
+
+def set_wall_clock(clock: WallClock) -> WallClock:
+    """Install ``clock`` as the process default; returns the previous one.
+
+    Callers (tests, the machine simulator's deterministic mode) are
+    responsible for restoring the returned clock when they are done.
+    """
+    global _DEFAULT_CLOCK
+    previous = _DEFAULT_CLOCK
+    _DEFAULT_CLOCK = clock
+    return previous
+
+
 @dataclass
 class Timer:
     """Accumulating region timer.
@@ -27,7 +53,7 @@ class Timer:
     since nesting would double-count.
     """
 
-    clock: WallClock = field(default_factory=WallClock)
+    clock: WallClock = field(default_factory=wall_clock)
     elapsed: float = 0.0
     _start: float | None = field(default=None, repr=False)
 

@@ -1,0 +1,139 @@
+"""Recorder-tag and span attribution under the parallel solver.
+
+The hierarchical solvers attribute every kernel event to its tree node
+through ``Recorder.tagged(nid)``; the parallel scheduler must preserve
+that attribution when node updates run in pool threads or in worker
+*processes* (whose events travel back pickled and are merged into the
+dispatching recorder).  These tests pin the contract for all three
+executor backends against the serial solver's reference attribution,
+and check the analogous span-side attribution after a cross-process
+``Tracer.merge``.
+"""
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core.hier_solver import HierarchicalSolver
+from repro.core.hierarchy import assign_constraints
+from repro.linalg.counters import recording
+from repro.parallel import (
+    ParallelHierarchicalSolver,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+)
+
+EXECUTORS = {
+    "serial": SerialExecutor,
+    "thread": lambda: ThreadExecutor(2),
+    "process": lambda: ProcessExecutor(2),
+}
+
+
+@pytest.fixture
+def assigned_problem(two_group_problem):
+    coords, constraints, hierarchy, estimate = two_group_problem
+    assign_constraints(hierarchy, constraints)
+    return hierarchy, estimate
+
+
+def _flops_by_tag(events):
+    out: dict[object, float] = {}
+    for e in events:
+        out[e.tag] = out.get(e.tag, 0.0) + e.flops
+    return out
+
+
+class TestRecorderAttribution:
+    @pytest.fixture
+    def reference(self, assigned_problem):
+        hierarchy, estimate = assigned_problem
+        cycle = HierarchicalSolver(hierarchy, batch_size=4).run_cycle(estimate)
+        return _flops_by_tag(cycle.recorder.events)
+
+    @pytest.mark.parametrize("backend", sorted(EXECUTORS))
+    def test_events_tagged_with_node_ids(self, assigned_problem, backend):
+        hierarchy, estimate = assigned_problem
+        with EXECUTORS[backend]() as ex:
+            cycle = ParallelHierarchicalSolver(
+                hierarchy, batch_size=4, executor=ex
+            ).run_cycle(estimate)
+        events = cycle.recorder.events
+        assert events
+        node_ids = {n.nid for n in hierarchy.nodes}
+        assert {e.tag for e in events} <= node_ids
+        # every node with constraints contributed tagged work
+        constrained = {n.nid for n in hierarchy.nodes if n.constraints}
+        assert {e.tag for e in events} == constrained
+
+    @pytest.mark.parametrize("backend", sorted(EXECUTORS))
+    def test_per_node_flops_match_serial_reference(
+        self, assigned_problem, reference, backend
+    ):
+        hierarchy, estimate = assigned_problem
+        with EXECUTORS[backend]() as ex:
+            cycle = ParallelHierarchicalSolver(
+                hierarchy, batch_size=4, executor=ex
+            ).run_cycle(estimate)
+        assert _flops_by_tag(cycle.recorder.events) == reference
+
+    @pytest.mark.parametrize("backend", sorted(EXECUTORS))
+    def test_events_land_in_parent_recorder(
+        self, assigned_problem, reference, backend
+    ):
+        """Worker-recorded events must reach a recorder activated by the parent."""
+        hierarchy, estimate = assigned_problem
+        with EXECUTORS[backend]() as ex, recording() as rec:
+            solver = ParallelHierarchicalSolver(hierarchy, batch_size=4, executor=ex)
+            cycle = solver.run_cycle(estimate)
+        assert cycle.recorder is rec  # the outer recorder is the merge target
+        assert _flops_by_tag(rec.events) == reference
+        # the per-node record views agree with the merged stream
+        by_tag = rec.events_by_tag()
+        for record in cycle.records:
+            assert [e.flops for e in record.events] == [
+                e.flops for e in by_tag.get(record.nid, [])
+            ]
+
+
+class TestSpanAttribution:
+    @pytest.mark.parametrize("backend", sorted(EXECUTORS))
+    def test_node_spans_attributed_across_backends(self, assigned_problem, backend):
+        hierarchy, estimate = assigned_problem
+        tracer = obs.Tracer()
+        with EXECUTORS[backend]() as ex, obs.tracing(tracer):
+            ParallelHierarchicalSolver(
+                hierarchy, batch_size=4, executor=ex
+            ).run_cycle(estimate)
+        node_spans = [sp for sp in tracer.spans if sp.name.startswith("node[")]
+        assert {sp.attrs["nid"] for sp in node_spans} == {
+            n.nid for n in hierarchy.nodes
+        }
+        # every kernel span's nearest node ancestor matches the node that
+        # the equivalent recorder event was tagged with
+        for kernel in tracer.find(cat="kernel"):
+            nodes = [
+                s for s in tracer.ancestry(kernel) if s.name.startswith("node[")
+            ]
+            assert nodes, "kernel span detached from its node"
+            assert nodes[0].attrs["nid"] in {n.nid for n in hierarchy.nodes}
+
+    def test_process_spans_reparented_under_wavefront(self, assigned_problem):
+        hierarchy, estimate = assigned_problem
+        tracer = obs.Tracer()
+        with ProcessExecutor(2) as ex, obs.tracing(tracer):
+            ParallelHierarchicalSolver(
+                hierarchy, batch_size=4, executor=ex
+            ).run_cycle(estimate)
+        for sp in tracer.spans:
+            if not sp.name.startswith("node["):
+                continue
+            chain = [s.name for s in tracer.ancestry(sp)]
+            assert chain and chain[0].startswith("wavefront[")
+            assert chain[-1] == "cycle"
+        # worker processes show up as separate trace lanes
+        pids = {sp.pid for sp in tracer.spans}
+        assert len(pids) >= 2
+        doc = {"traceEvents": obs.chrome_trace_events(tracer)}
+        assert obs.validate_chrome_trace(doc) == []
