@@ -1,0 +1,244 @@
+"""Hot-path benchmark: fast vs reference kernels across executor backends.
+
+Times one hierarchical cycle on the two paper workloads (helix, length 4,
+n=510 root state; synthetic 30S ribosome, ~900 atoms) for every
+combination of kernel implementation (``fast`` / ``reference``) and
+executor backend (serial / thread / process), reporting wall seconds,
+seconds per scalar constraint row, and the dispatching process's peak
+traced allocations (``tracemalloc`` is process-wide: thread-backend
+workers are included, process-backend workers are not).
+
+Standalone — no pytest-benchmark required::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --out BENCH_hotpath.json
+
+CI runs the quick form and gates on regression against the committed
+baseline::
+
+    PYTHONPATH=src python benchmarks/bench_hotpath.py --quick \
+        --out /tmp/bench.json --check-against BENCH_hotpath.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import tracemalloc
+
+import repro.core  # noqa: F401  - must import before repro.molecules.rna
+from repro.constraints.batch import make_batches
+from repro.core.update import UpdateOptions, apply_batch
+from repro.molecules.ribosome import build_ribo30s
+from repro.molecules.rna import build_helix
+from repro.parallel import (
+    ParallelHierarchicalSolver,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+)
+
+PROBLEMS = {
+    "helix": lambda: build_helix(4),
+    "ribosome": lambda: build_ribo30s(),
+}
+BACKENDS = ("serial", "thread", "process")
+IMPLS = ("reference", "fast")
+
+
+def _make_executor(backend: str, workers: int):
+    if backend == "serial":
+        return SerialExecutor()
+    if backend == "thread":
+        return ThreadExecutor(workers)
+    return ProcessExecutor(workers)
+
+
+def _bench_one(problem, backend: str, impl: str, repeats: int, workers: int) -> dict:
+    estimate = problem.initial_estimate(0)
+    options = UpdateOptions(kernel_impl=impl)
+    with _make_executor(backend, workers) as executor:
+        solver = ParallelHierarchicalSolver(
+            problem.hierarchy, batch_size=16, options=options, executor=executor
+        )
+        best = float("inf")
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            solver.run_cycle(estimate)
+            best = min(best, time.perf_counter() - t0)
+        tracemalloc.start()
+        solver.run_cycle(estimate)
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+    rows = solver.n_constraint_rows
+    return {
+        "backend": backend,
+        "kernel_impl": impl,
+        "seconds": best,
+        "seconds_per_constraint": best / rows,
+        "n_constraint_rows": rows,
+        "peak_alloc_bytes": peak,
+    }
+
+
+def _bench_flat(problem, impl: str, repeats: int) -> dict:
+    """Flat (single-node) solve: every batch at the full state dimension.
+
+    This is the regime the symmetric kernels target — the helix form runs
+    all 3232 constraint rows against the 510-dim state, so the ≥1.5×
+    fast-over-reference criterion is read off this entry rather than the
+    hierarchical cycle (whose many small leaf solves dilute the ratio).
+    """
+    estimate = problem.initial_estimate(0)
+    options = UpdateOptions(kernel_impl=impl)
+    batches = make_batches(problem.constraints, 16)
+    rows = sum(b.dimension for b in batches)
+    best = float("inf")
+    for _ in range(repeats):
+        est = estimate
+        t0 = time.perf_counter()
+        for batch in batches:
+            est = apply_batch(est, batch, options=options)
+        best = min(best, time.perf_counter() - t0)
+    tracemalloc.start()
+    est = estimate
+    for batch in batches:
+        est = apply_batch(est, batch, options=options)
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return {
+        "backend": "flat",
+        "kernel_impl": impl,
+        "n_state": estimate.mean.shape[0],
+        "seconds": best,
+        "seconds_per_constraint": best / rows,
+        "n_constraint_rows": rows,
+        "peak_alloc_bytes": peak,
+    }
+
+
+def run_suite(problems, backends, repeats: int, workers: int) -> dict:
+    results: dict[str, list[dict]] = {}
+    for pname in problems:
+        problem = PROBLEMS[pname]()
+        problem.assign()
+        entries = []
+        if pname == "helix":
+            # Flat solve at the full 510-dim state: the n >= 300 regime
+            # the symmetric kernels are built for (see _bench_flat).
+            for impl in IMPLS:
+                entry = _bench_flat(problem, impl, repeats)
+                entries.append(entry)
+                print(
+                    f"{pname:9s} {'flat':8s} {impl:10s} "
+                    f"{entry['seconds']:8.3f}s  "
+                    f"{entry['seconds_per_constraint'] * 1e6:8.2f} us/row  "
+                    f"peak {entry['peak_alloc_bytes'] / 1e6:7.1f} MB",
+                    flush=True,
+                )
+        for backend in backends:
+            for impl in IMPLS:
+                entry = _bench_one(problem, backend, impl, repeats, workers)
+                entries.append(entry)
+                print(
+                    f"{pname:9s} {backend:8s} {impl:10s} "
+                    f"{entry['seconds']:8.3f}s  "
+                    f"{entry['seconds_per_constraint'] * 1e6:8.2f} us/row  "
+                    f"peak {entry['peak_alloc_bytes'] / 1e6:7.1f} MB",
+                    flush=True,
+                )
+        results[pname] = entries
+    return results
+
+
+def _speedups(results: dict) -> dict:
+    """fast-over-reference wall-time ratio per problem/backend."""
+    out: dict[str, dict[str, float]] = {}
+    for pname, entries in results.items():
+        by_key = {(e["backend"], e["kernel_impl"]): e["seconds"] for e in entries}
+        out[pname] = {
+            backend: by_key[(backend, "reference")] / by_key[(backend, "fast")]
+            for backend in {e["backend"] for e in entries}
+        }
+    return out
+
+
+def _check_regression(report: dict, baseline_path: str, max_ratio: float) -> int:
+    """Gate on the helix/serial/fast seconds_per_constraint figure."""
+    with open(baseline_path) as fh:
+        baseline = json.load(fh)
+
+    def _pick(rep):
+        for e in rep["results"]["helix"]:
+            if e["backend"] == "serial" and e["kernel_impl"] == "fast":
+                return e["seconds_per_constraint"]
+        raise KeyError("helix/serial/fast entry missing")
+
+    current, ref = _pick(report), _pick(baseline)
+    ratio = current / ref
+    print(
+        f"perf gate: helix serial fast {current * 1e6:.2f} us/row vs "
+        f"baseline {ref * 1e6:.2f} us/row (ratio {ratio:.2f}, limit {max_ratio:.1f})"
+    )
+    if ratio > max_ratio:
+        print("perf gate FAILED: seconds_per_constraint regressed", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--out", default="BENCH_hotpath.json")
+    ap.add_argument("--repeats", type=int, default=3)
+    ap.add_argument("--workers", type=int, default=4)
+    ap.add_argument(
+        "--problems", nargs="+", choices=sorted(PROBLEMS), default=sorted(PROBLEMS)
+    )
+    ap.add_argument("--backends", nargs="+", choices=BACKENDS, default=list(BACKENDS))
+    ap.add_argument(
+        "--quick",
+        action="store_true",
+        help="helix + serial backend only, one repeat (the CI perf smoke)",
+    )
+    ap.add_argument(
+        "--check-against",
+        metavar="BASELINE",
+        help="compare against a committed BENCH_hotpath.json; non-zero exit on regression",
+    )
+    ap.add_argument(
+        "--max-regression",
+        type=float,
+        default=2.0,
+        help="fail when helix serial fast us/row exceeds baseline x this ratio",
+    )
+    args = ap.parse_args(argv)
+
+    problems = ["helix"] if args.quick else args.problems
+    backends = ["serial"] if args.quick else args.backends
+    repeats = 1 if args.quick else args.repeats
+
+    results = run_suite(problems, backends, repeats, args.workers)
+    report = {
+        "workloads": {
+            "helix": "build_helix(4): 170 atoms, 510 state dims",
+            "ribosome": "build_ribo30s(): ~900 atoms, 2700 state dims",
+        },
+        "quick": args.quick,
+        "repeats": repeats,
+        "workers": args.workers,
+        "results": results,
+        "fast_over_reference_speedup": _speedups(results),
+    }
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+
+    if args.check_against:
+        return _check_regression(report, args.check_against, args.max_regression)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

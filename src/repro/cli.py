@@ -99,7 +99,9 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         decomposition=decomposition,
         batch_size=args.batch,
         options=UpdateOptions(
-            local_iterations=args.local_iterations, max_retries=args.max_retries
+            local_iterations=args.local_iterations,
+            max_retries=args.max_retries,
+            kernel_impl=args.kernel_impl,
         ),
         checkpoint_dir=args.checkpoint_dir,
     )
@@ -219,6 +221,7 @@ def _write_solve_summary(args, problem, solution, injector, residuals):
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro import io as rio
     from repro.core.hier_solver import HierarchicalSolver
+    from repro.core.update import UpdateOptions
     from repro.machine import CHALLENGE, DASH, simulate_solve
     from repro.machine.trace import format_speedup_table
 
@@ -226,7 +229,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     problem.assign()
     machine = DASH() if args.machine == "dash" else CHALLENGE()
     counts = [int(v) for v in args.processors.split(",")]
-    solver = HierarchicalSolver(problem.hierarchy, batch_size=args.batch)
+    # The machine models' rates are calibrated against the reference
+    # kernel mix, so simulation inputs are recorded with it.
+    solver = HierarchicalSolver(
+        problem.hierarchy,
+        batch_size=args.batch,
+        options=UpdateOptions(kernel_impl="reference"),
+    )
     cycle = solver.run_cycle(problem.initial_estimate(args.seed))
     results = [
         simulate_solve(cycle, problem.hierarchy, machine, p) for p in counts
@@ -265,6 +274,12 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--cycles", type=int, default=30)
     solve.add_argument("--tol", type=float, default=1e-4)
     solve.add_argument("--local-iterations", type=int, default=1)
+    solve.add_argument(
+        "--kernel-impl",
+        choices=["fast", "reference"],
+        default="fast",
+        help="update kernels: symmetric BLAS fast path or the pre-optimization reference",
+    )
     solve.add_argument("--anneal", default=None, help="start,decay (e.g. 100,0.5)")
     solve.add_argument("--seed", type=int, default=0)
     solve.add_argument("--out", default=None)

@@ -19,6 +19,7 @@ from repro.core.decompose import (
 )
 from repro.core.hier_solver import HierarchicalSolver
 from repro.core.hierarchy import Hierarchy, assign_constraints
+from repro.core.update import UpdateOptions
 from repro.experiments.report import render_table
 from repro.linalg import recording
 from repro.molecules.problem import StructureProblem
@@ -66,7 +67,12 @@ def run_decompose_ablation(
     for method in methods:
         hierarchy = build(method)
         assign_constraints(hierarchy, problem.constraints)
-        solver = HierarchicalSolver(hierarchy, batch_size=batch_size)
+        # Reference kernels keep the FLOP totals comparable with Table 2.
+        solver = HierarchicalSolver(
+            hierarchy,
+            batch_size=batch_size,
+            options=UpdateOptions(kernel_impl="reference"),
+        )
         with recording() as rec:
             cycle = solver.run_cycle(estimate)
         results.append(

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.hier_solver import HierarchicalSolver
+from repro.core.update import UpdateOptions
 from repro.experiments.report import render_table
 from repro.machine import DASH, MachineConfig, simulate_solve
 from repro.molecules.problem import StructureProblem
@@ -46,7 +47,12 @@ def run_dynamic_ablation(
         problem.assign()
     if machine is None:
         machine = DASH()
-    solver = HierarchicalSolver(problem.hierarchy, batch_size=batch_size)
+    # Simulator rates model the reference kernel mix; record with it.
+    solver = HierarchicalSolver(
+        problem.hierarchy,
+        batch_size=batch_size,
+        options=UpdateOptions(kernel_impl="reference"),
+    )
     cycle = solver.run_cycle(problem.initial_estimate(seed))
     records = cycle.record_by_nid()
     results = []

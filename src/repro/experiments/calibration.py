@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.hier_solver import HierCycleResult, HierarchicalSolver
+from repro.core.update import UpdateOptions
 from repro.errors import SimulationError
 from repro.linalg.counters import OpCategory
 from repro.machine.config import MachineConfig
@@ -52,9 +53,19 @@ class CalibrationResult:
 
 
 def record_cycle(problem: StructureProblem, batch_size: int = 16, seed: int = 0) -> HierCycleResult:
-    """Run and record one hierarchical cycle of ``problem``."""
+    """Run and record one hierarchical cycle of ``problem``.
+
+    The cycle runs with ``kernel_impl="reference"``: the published
+    per-category breakdowns describe the paper's original kernel mix, so
+    calibration must count the FLOPs of that algorithm — the fast
+    symmetric kernels execute (and report) a different d-s/m-m split.
+    """
     problem.assign()
-    solver = HierarchicalSolver(problem.hierarchy, batch_size=batch_size)
+    solver = HierarchicalSolver(
+        problem.hierarchy,
+        batch_size=batch_size,
+        options=UpdateOptions(kernel_impl="reference"),
+    )
     return solver.run_cycle(problem.initial_estimate(seed))
 
 

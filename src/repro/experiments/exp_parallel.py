@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.core.hier_solver import HierarchicalSolver, HierCycleResult
+from repro.core.update import UpdateOptions
 from repro.core.workmodel import WorkModel
 from repro.experiments import paper_data
 from repro.machine import CHALLENGE, DASH, MachineConfig, simulate_solve
@@ -76,7 +77,12 @@ def run_parallel_experiment(
     machine = build_machine()
     if processor_counts is None:
         processor_counts = paper_data.processor_counts(table)
-    solver = HierarchicalSolver(problem.hierarchy, batch_size=batch_size)
+    # Simulator rates model the reference kernel mix; record with it.
+    solver = HierarchicalSolver(
+        problem.hierarchy,
+        batch_size=batch_size,
+        options=UpdateOptions(kernel_impl="reference"),
+    )
     cycle = solver.run_cycle(problem.initial_estimate(seed))
     results = [
         simulate_solve(cycle, problem.hierarchy, machine, p, model=work_model, batch_size=batch_size)

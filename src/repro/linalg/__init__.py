@@ -31,8 +31,18 @@ from repro.linalg.kernels import (
 from repro.linalg.cholesky import cholesky_factor, cholesky_solve
 from repro.linalg.triangular import solve_lower, solve_upper
 from repro.linalg.blocked import tiled_gemm
+from repro.linalg.fast import (
+    add_diagonal_inplace,
+    gather_cht,
+    mirror_lower,
+    spmm_support,
+    symm,
+    syrk_downdate,
+    trsm_right,
+)
 from repro.linalg.parallel_kernels import ParallelKernels
 from repro.linalg.profile import TraceProfile, format_profile, profile_recorder
+from repro.linalg.workspace import Workspace, get_workspace
 
 __all__ = [
     "CSRMatrix",
@@ -41,20 +51,29 @@ __all__ = [
     "ParallelKernels",
     "Recorder",
     "TraceProfile",
-    "format_profile",
-    "profile_recorder",
+    "Workspace",
     "add_diagonal",
+    "add_diagonal_inplace",
     "axpy",
     "cholesky_factor",
     "cholesky_solve",
     "current_recorder",
+    "format_profile",
+    "gather_cht",
     "gemm",
     "gemv",
+    "get_workspace",
+    "mirror_lower",
     "outer_update",
+    "profile_recorder",
     "recording",
     "solve_lower",
     "solve_upper",
+    "spmm_support",
+    "symm",
+    "syrk_downdate",
     "tiled_gemm",
+    "trsm_right",
     "vec_add",
     "vec_scale",
     "vec_sub",

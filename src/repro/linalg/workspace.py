@@ -1,0 +1,81 @@
+"""Per-thread reusable buffer arena for the fast update path.
+
+The fast measurement-update kernels (:mod:`repro.linalg.fast`) operate in
+place on Fortran-ordered buffers so the BLAS level-3 routines can write
+their output without intermediate copies.  Allocating those buffers per
+batch would put an O(n·m) — and, naively, O(n²) — allocation on the hot
+path for every constraint batch; the :class:`Workspace` arena instead
+hands out buffers keyed by ``(name, shape)`` and reuses them across the
+batches (and local relinearization iterations) of a node solve.
+
+Aliasing rules
+--------------
+* A workspace buffer is valid until the next :meth:`Workspace.take` with
+  the same key; callers must never let a buffer escape into a returned
+  object (e.g. a posterior :class:`~repro.core.state.StructureEstimate`)
+  — results that outlive the call must be freshly allocated.
+* Buffers are per-thread (:func:`get_workspace` hands each thread its
+  own arena), so the thread-pool executor's concurrent node solves never
+  share a buffer.  Worker processes get their own arena per process.
+* Contents are *not* zeroed on reuse; callers overwrite fully.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+__all__ = ["Workspace", "get_workspace"]
+
+
+class Workspace:
+    """Arena of reusable float64 scratch buffers keyed by name and shape.
+
+    Buffers are Fortran-ordered by default, matching what the BLAS
+    wrappers in :mod:`repro.linalg.fast` need to work in place.
+    """
+
+    def __init__(self) -> None:
+        self._buffers: dict[tuple, np.ndarray] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def take(
+        self, name: str, shape: tuple[int, ...], order: str = "F"
+    ) -> np.ndarray:
+        """Return a reusable uninitialized buffer for ``(name, shape)``.
+
+        The same key returns the same array on every call until a
+        different shape is requested under that name (the arena keeps one
+        buffer per distinct key, so alternating shapes both stay cached).
+        """
+        key = (name, shape, order)
+        buf = self._buffers.get(key)
+        if buf is None:
+            buf = np.empty(shape, dtype=np.float64, order=order)
+            self._buffers[key] = buf
+            self.misses += 1
+        else:
+            self.hits += 1
+        return buf
+
+    def nbytes(self) -> int:
+        """Total bytes currently held by the arena."""
+        return sum(b.nbytes for b in self._buffers.values())
+
+    def clear(self) -> None:
+        """Drop every cached buffer (frees the memory)."""
+        self._buffers.clear()
+
+
+_LOCAL = threading.local()
+
+
+def get_workspace() -> Workspace:
+    """The calling thread's workspace arena (created on first use)."""
+    ws = getattr(_LOCAL, "workspace", None)
+    if ws is None:
+        ws = Workspace()
+        _LOCAL.workspace = ws
+    return ws

@@ -13,9 +13,11 @@ Two complementary runtimes live here:
 
 :class:`~repro.parallel.scheduler.ParallelHierarchicalSolver` is the
 public entry point: a drop-in replacement for
-:class:`~repro.core.hier_solver.HierarchicalSolver` that dispatches
-independent subtrees to an executor, synchronizing children before each
-parent exactly as the paper's runtime does.
+:class:`~repro.core.hier_solver.HierarchicalSolver` that dispatches each
+node to an executor the moment its children are done (or per-wavefront
+in the legacy barrier mode), with process backends exchanging estimates
+through the shared-memory plane (:mod:`repro.parallel.shm`) instead of
+pickle.
 """
 
 from repro.parallel.executors import (
@@ -24,14 +26,18 @@ from repro.parallel.executors import (
     SerialExecutor,
     ThreadExecutor,
 )
-from repro.parallel.scheduler import ParallelHierarchicalSolver
+from repro.parallel.scheduler import DISPATCH_MODES, ParallelHierarchicalSolver
+from repro.parallel.shm import EstimateHandle, SharedEstimatePlane
 from repro.parallel.dynamic import dynamic_assignment_schedule
 
 __all__ = [
+    "DISPATCH_MODES",
+    "EstimateHandle",
     "Executor",
     "ParallelHierarchicalSolver",
     "ProcessExecutor",
     "SerialExecutor",
+    "SharedEstimatePlane",
     "ThreadExecutor",
     "dynamic_assignment_schedule",
 ]

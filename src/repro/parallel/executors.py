@@ -1,9 +1,19 @@
 """Executor abstraction: serial, thread-pool and process-pool backends.
 
-The scheduler only needs "run these independent thunks, give me their
-results" — expressed as :meth:`Executor.map` over picklable task
-descriptions for the process backend, or plain closures for the
-serial/thread backends.
+Two dispatch surfaces serve the scheduler:
+
+* :meth:`Executor.map` — "run these independent thunks, give me their
+  results", used by the legacy per-wavefront barrier mode; and
+* :meth:`Executor.submit` — one task, one future, used by the
+  dependency-driven scheduler, which keeps its own ready-count
+  bookkeeping and resubmission budget (the injected-crash decision is
+  drawn by the caller, one per submission, preserving the deterministic
+  draw order of :meth:`~repro.faults.FaultInjector.crash_schedule`).
+
+Tasks are picklable descriptions for the process backend, or plain
+closures for the serial/thread backends; ``needs_pickling`` tells the
+scheduler whether results cross an address-space boundary (which is what
+decides whether the shared-memory estimate plane pays off).
 
 All backends share one recovery contract (exercised by
 ``tests/test_executor_recovery.py``): a task lost to a crashed worker —
@@ -47,6 +57,25 @@ class Executor(abc.ABC):
     """
 
     max_resubmits: int = 3
+
+    #: True when tasks/results cross an address-space boundary (pickled).
+    needs_pickling: bool = False
+
+    @abc.abstractmethod
+    def submit(
+        self, fn: Callable[[T], R], item: T, crash: bool = False
+    ) -> "concurrent.futures.Future[R]":
+        """Submit one task; the returned future resolves to ``fn(item)``.
+
+        ``crash`` is an injected-crash decision drawn by the caller (one
+        per submission); the worker-side shim applies it.  Crash failures
+        surface as :class:`~repro.errors.WorkerCrashError` (or
+        ``BrokenProcessPool`` for a hard-killed process worker) on the
+        future; the caller owns resubmission.
+        """
+
+    def recover(self) -> None:
+        """Restore the backend after a broken-pool failure (no-op by default)."""
 
     @abc.abstractmethod
     def _dispatch(
@@ -116,6 +145,14 @@ class Executor(abc.ABC):
 class SerialExecutor(Executor):
     """Executes tasks inline; the reference behaviour all backends must match."""
 
+    def submit(self, fn, item, crash=False):
+        future: concurrent.futures.Future = concurrent.futures.Future()
+        try:
+            future.set_result(_call_with_faults(fn, item, crash, "raise"))
+        except BaseException as exc:
+            future.set_exception(exc)
+        return future
+
     def _dispatch(self, fn, tasks):
         results: dict[int, object] = {}
         failed: list[int] = []
@@ -143,6 +180,9 @@ class ThreadExecutor(Executor):
         self.n_workers = n_workers
         self.max_resubmits = max_resubmits
         self._pool = concurrent.futures.ThreadPoolExecutor(max_workers=n_workers)
+
+    def submit(self, fn, item, crash=False):
+        return self._pool.submit(_call_with_faults, fn, item, crash, "raise")
 
     def _dispatch(self, fn, tasks):
         futures = {
@@ -175,12 +215,28 @@ class ProcessExecutor(Executor):
     every unfinished task for resubmission.
     """
 
+    needs_pickling = True
+
     def __init__(self, n_workers: int, max_resubmits: int = 3):
         if n_workers < 1:
             raise ValueError("n_workers must be >= 1")
         self.n_workers = n_workers
         self.max_resubmits = max_resubmits
         self._pool = concurrent.futures.ProcessPoolExecutor(max_workers=n_workers)
+
+    def submit(self, fn, item, crash=False):
+        injector = current_injector()
+        mode = injector.config.crash_mode if injector is not None else "raise"
+        return self._pool.submit(_call_with_faults, fn, item, crash, mode)
+
+    def recover(self) -> None:
+        """Replace a broken pool; queued segments/tasks are the caller's to resubmit."""
+        obs.inc("executor.pool_rebuilds")
+        obs.instant("executor.pool_rebuild", cat="executor")
+        self._pool.shutdown(wait=False, cancel_futures=True)
+        self._pool = concurrent.futures.ProcessPoolExecutor(
+            max_workers=self.n_workers
+        )
 
     def _dispatch(self, fn, tasks):
         injector = current_injector()
@@ -201,12 +257,7 @@ class ProcessExecutor(Executor):
                 failed.append(i)
                 broken = True
         if broken:
-            obs.inc("executor.pool_rebuilds")
-            obs.instant("executor.pool_rebuild", cat="executor")
-            self._pool.shutdown(wait=False, cancel_futures=True)
-            self._pool = concurrent.futures.ProcessPoolExecutor(
-                max_workers=self.n_workers
-            )
+            self.recover()
         return results, failed
 
     def close(self) -> None:

@@ -1,23 +1,30 @@
 """Tree-parallel hierarchical solver.
 
-The hierarchy's data dependencies are child → parent only, so all nodes
-of equal *height* (longest path to a leaf) are mutually independent and
-form one parallel wavefront.  The scheduler processes wavefronts from the
-leaves up, dispatching every node in a wavefront to the executor, then
-synchronizing — the same computation order as
-:class:`repro.core.hier_solver.HierarchicalSolver` and bit-identical
-results with any backend.
+The hierarchy's data dependencies are child → parent only.  The default
+scheduler exploits exactly that: dependency-driven dispatch submits every
+leaf up front and submits a parent the moment its *last* child completes
+(futures plus ready-count bookkeeping), so no node ever waits on an
+unrelated subtree.  The legacy mode (``dispatch="wavefront"``) instead
+groups nodes of equal height into wavefronts and barriers between them —
+same results, more idle time.  Both orders compute node solves on
+identical inputs, so results are bit-identical to
+:class:`repro.core.hier_solver.HierarchicalSolver` with any backend.
 
 Node tasks are self-contained payloads (prior estimate, constraints,
 column map), so they cross process boundaries; each worker records its
 own kernel events — and, when the dispatching solve is being traced, its
 own spans and metrics — and ships them back for merged per-node
 profiles.  Worker spans keep the worker's pid/tid, which is what gives
-the exported Chrome trace one lane per worker.
+the exported Chrome trace one lane per worker.  With a pickling backend
+the estimate arrays themselves do not ride in the task at all: the
+scheduler parks them on a :class:`~repro.parallel.shm.SharedEstimatePlane`
+and ships O(1)-sized handles (see that module for the lifetime rules).
 """
 
 from __future__ import annotations
 
+import concurrent.futures
+from concurrent.futures.process import BrokenProcessPool
 from contextlib import nullcontext
 from dataclasses import dataclass
 
@@ -30,39 +37,53 @@ from repro.core.hier_solver import HierCycleResult, NodeSolveRecord
 from repro.core.hierarchy import Hierarchy, HierarchyNode
 from repro.core.state import StructureEstimate
 from repro.core.update import UpdateOptions, apply_batch
-from repro.errors import HierarchyError
+from repro.errors import HierarchyError, WorkerCrashError
 from repro.faults.injector import current_injector
 from repro.linalg.counters import KernelEvent, Recorder, current_recorder, recording
 from repro.parallel.executors import Executor, SerialExecutor
+from repro.parallel.shm import EstimateHandle, SharedEstimatePlane, read_prior, write_posterior
 from repro.util.timer import Timer
+
+DISPATCH_MODES = ("dependency", "wavefront")
 
 
 @dataclass
 class _NodeTask:
     """Picklable description of one node's update.
 
-    ``trace``/``collect_metrics`` tell the worker to run under a local
-    collecting tracer/registry and ship the records back (contextvars do
-    not cross executor boundaries, so observability is opt-in per task).
+    Exactly one of ``prior`` / ``prior_handle`` is set: the handle form
+    parks the estimate arrays on the shared-memory plane and ships O(1)
+    bytes.  ``trace``/``collect_metrics`` tell the worker to run under a
+    local collecting tracer/registry and ship the records back
+    (contextvars do not cross executor boundaries, so observability is
+    opt-in per task).
     """
 
     nid: int
-    prior: StructureEstimate
+    prior: StructureEstimate | None
     constraints: list[Constraint]
     column_map: np.ndarray
     batch_size: int
     options: UpdateOptions
+    prior_handle: EstimateHandle | None = None
     trace: bool = False
     collect_metrics: bool = False
 
 
 def _run_node_task(
     task: _NodeTask,
-) -> tuple[int, StructureEstimate, list[KernelEvent], float, dict | None]:
-    """Worker entry point: apply the node's batches, recording events."""
+) -> tuple[int, StructureEstimate | None, list[KernelEvent], float, int, dict | None]:
+    """Worker entry point: apply the node's batches, recording events.
+
+    Returns ``(nid, posterior-or-None, events, seconds, n_batches,
+    obs_payload)``; the posterior slot is ``None`` when the task carried
+    a shared-memory handle (the posterior went back through the segment).
+    """
     rec = Recorder()
     timer = Timer()
-    estimate = task.prior
+    estimate = (
+        read_prior(task.prior_handle) if task.prior_handle is not None else task.prior
+    )
     injector = current_injector()
     if injector is not None:
         # Straggler simulation; crash faults are the executor's concern
@@ -74,6 +95,7 @@ def _run_node_task(
     metrics_scope = (
         obs.metrics_scope(registry) if registry is not None else nullcontext()
     )
+    n_batches = 0
     with trace_scope, metrics_scope:
         with obs.span(
             f"node[{task.nid}]",
@@ -83,7 +105,9 @@ def _run_node_task(
             batch_size=task.batch_size,
         ), recording(rec), rec.tagged(task.nid), timer:
             if task.constraints:
-                for batch in make_batches(task.constraints, task.batch_size):
+                batches = make_batches(task.constraints, task.batch_size)
+                n_batches = len(batches)
+                for batch in batches:
                     estimate = apply_batch(
                         estimate, batch, task.column_map, task.options
                     )
@@ -93,14 +117,28 @@ def _run_node_task(
             "trace": tracer.payload() if tracer is not None else None,
             "metrics": registry.snapshot() if registry is not None else None,
         }
-    return task.nid, estimate, rec.events, timer.elapsed, payload
+    if task.prior_handle is not None:
+        write_posterior(task.prior_handle, estimate)
+        estimate = None
+    return task.nid, estimate, rec.events, timer.elapsed, n_batches, payload
 
 
 class ParallelHierarchicalSolver:
     """Executor-backed drop-in for :class:`HierarchicalSolver`.
 
-    Parameters mirror the serial solver, plus ``executor`` (defaults to
-    inline execution so the class is always safe to construct).
+    Parameters mirror the serial solver, plus:
+
+    executor:
+        Backend (defaults to inline execution so the class is always
+        safe to construct).
+    dispatch:
+        ``"dependency"`` (default) submits a parent as soon as its last
+        child completes; ``"wavefront"`` restores the per-height barrier.
+    shared_memory:
+        ``None`` (default) enables the shared-memory estimate plane
+        exactly when the backend pickles its tasks
+        (:attr:`~repro.parallel.executors.Executor.needs_pickling`);
+        ``True``/``False`` force it.
     """
 
     def __init__(
@@ -109,25 +147,43 @@ class ParallelHierarchicalSolver:
         batch_size: int = 16,
         options: UpdateOptions = UpdateOptions(),
         executor: Executor | None = None,
+        dispatch: str = "dependency",
+        shared_memory: bool | None = None,
     ):
+        if dispatch not in DISPATCH_MODES:
+            raise HierarchyError(
+                f"dispatch must be one of {DISPATCH_MODES}, got {dispatch!r}"
+            )
         self.hierarchy = hierarchy
         self.batch_size = int(batch_size)
         self.options = options
         self.executor = executor if executor is not None else SerialExecutor()
+        self.dispatch = dispatch
+        self.shared_memory = shared_memory
         self.n_constraint_rows = sum(n.n_constraint_rows for n in hierarchy.nodes)
 
     # ----------------------------------------------------------- wavefronts
     def wavefronts(self) -> list[list[HierarchyNode]]:
         """Nodes grouped by height: index 0 = leaves, last = root."""
+        height = self.heights()
+        fronts: list[list[HierarchyNode]] = [[] for _ in range(max(height.values()) + 1)]
+        for node in self.hierarchy.post_order():
+            fronts[height[node.nid]].append(node)
+        return fronts
+
+    def heights(self) -> dict[int, int]:
+        """Node id → height (longest path to a leaf; leaves are 0)."""
         height: dict[int, int] = {}
         for node in self.hierarchy.post_order():
             height[node.nid] = (
                 0 if node.is_leaf else 1 + max(height[c.nid] for c in node.children)
             )
-        fronts: list[list[HierarchyNode]] = [[] for _ in range(max(height.values()) + 1)]
-        for node in self.hierarchy.post_order():
-            fronts[height[node.nid]].append(node)
-        return fronts
+        return height
+
+    def _use_shared_memory(self) -> bool:
+        if self.shared_memory is not None:
+            return self.shared_memory
+        return self.executor.needs_pickling
 
     # ----------------------------------------------------------- solve
     def run_cycle(self, estimate: StructureEstimate) -> HierCycleResult:
@@ -145,52 +201,28 @@ class ParallelHierarchicalSolver:
         # so nothing is double-counted).
         outer = current_recorder()
         merged = outer if outer is not None else Recorder()
-        tracer = obs.current_tracer()
-        registry = obs.current_metrics()
-        with obs.span(
-            "cycle",
-            cat="solve",
-            solver="parallel",
-            backend=type(self.executor).__name__,
-            nodes=len(self.hierarchy.nodes),
-            rows=self.n_constraint_rows,
-        ), total:
-            for height, front in enumerate(self.wavefronts()):
-                with obs.span(
-                    f"wavefront[{height}]", cat="solve", nodes=len(front)
-                ) as wf:
-                    tasks = [
-                        self._make_task(node, estimate, node_results)
-                        for node in front
-                    ]
-                    for nid, result, events, seconds, payload in self.executor.map(
-                        _run_node_task, tasks
-                    ):
-                        node = self.hierarchy.node(nid)
-                        node_results[nid] = result
-                        merged.events.extend(events)
-                        if payload is not None:
-                            if tracer is not None and payload["trace"] is not None:
-                                tracer.merge(
-                                    payload["trace"],
-                                    parent_id=wf.span_id if wf is not None else None,
-                                )
-                            if registry is not None:
-                                registry.merge_snapshot(payload["metrics"])
-                        records.append(
-                            NodeSolveRecord(
-                                nid=nid,
-                                name=node.name,
-                                depth=node.depth,
-                                state_dim=node.state_dim,
-                                n_constraint_rows=node.n_constraint_rows,
-                                n_batches=len(
-                                    make_batches(node.constraints, self.batch_size)
-                                ) if node.constraints else 0,
-                                seconds=seconds,
-                                events=list(events),
-                            )
-                        )
+        plane = SharedEstimatePlane() if self._use_shared_memory() else None
+        try:
+            with obs.span(
+                "cycle",
+                cat="solve",
+                solver="parallel",
+                backend=type(self.executor).__name__,
+                dispatch=self.dispatch,
+                nodes=len(self.hierarchy.nodes),
+                rows=self.n_constraint_rows,
+            ), total:
+                if self.dispatch == "wavefront":
+                    self._run_wavefront(
+                        estimate, node_results, records, merged, plane
+                    )
+                else:
+                    self._run_dependency(
+                        estimate, node_results, records, merged, plane
+                    )
+        finally:
+            if plane is not None:
+                plane.close()
         obs.inc("solve.cycles")
         root = self.hierarchy.root
         final = estimate.copy()
@@ -200,17 +232,224 @@ class ParallelHierarchicalSolver:
             final, total.elapsed, merged, records, self.n_constraint_rows
         )
 
+    # ------------------------------------------------- wavefront (legacy)
+    def _run_wavefront(
+        self,
+        estimate: StructureEstimate,
+        node_results: dict[int, StructureEstimate],
+        records: list[NodeSolveRecord],
+        merged: Recorder,
+        plane: SharedEstimatePlane | None,
+    ) -> None:
+        tracer = obs.current_tracer()
+        registry = obs.current_metrics()
+        for height, front in enumerate(self.wavefronts()):
+            with obs.span(
+                f"wavefront[{height}]", cat="solve", nodes=len(front)
+            ) as wf:
+                tasks = [
+                    self._make_task(node, estimate, node_results, plane)
+                    for node in front
+                ]
+                for task, result in zip(
+                    tasks, self.executor.map(_run_node_task, tasks)
+                ):
+                    self._ingest(
+                        task,
+                        result,
+                        plane,
+                        node_results,
+                        records,
+                        merged,
+                        registry,
+                        tracer,
+                        trace_parent=wf.span_id if wf is not None else None,
+                    )
+
+    # ------------------------------------------------- dependency-driven
+    def _run_dependency(
+        self,
+        estimate: StructureEstimate,
+        node_results: dict[int, StructureEstimate],
+        records: list[NodeSolveRecord],
+        merged: Recorder,
+        plane: SharedEstimatePlane | None,
+    ) -> None:
+        """Submit a node the moment its last child has completed.
+
+        Ready-count bookkeeping: each inner node holds a count of
+        unfinished children; a completion decrements its parent's count
+        and a count of zero submits the parent immediately — no barrier
+        between heights.  Lost tasks (injected crashes or a broken
+        process pool) are resubmitted per task, bounded by the executor's
+        ``max_resubmits``; a broken pool is rebuilt once per detection
+        via :meth:`~repro.parallel.executors.Executor.recover`.
+        """
+        tracer = obs.current_tracer()
+        registry = obs.current_metrics()
+        injector = current_injector()
+        heights = self.heights()
+        nodes = {n.nid: n for n in self.hierarchy.nodes}
+        waiting = {
+            n.nid: len(n.children) for n in self.hierarchy.nodes if not n.is_leaf
+        }
+        # Per-height span windows + buffered worker trace payloads: the
+        # wavefront grouping no longer exists at runtime, but the trace
+        # keeps it as a reporting grouping (completed post-hoc).
+        windows: dict[int, list[float]] = {}
+        buffered: dict[int, list[dict]] = {}
+        pending: dict[concurrent.futures.Future, tuple[_NodeTask, int]] = {}
+
+        def submit(node: HierarchyNode, resubmits: int = 0, task=None) -> None:
+            if task is None:
+                task = self._make_task(node, estimate, node_results, plane)
+            # One injected-crash draw per *original* submission, matching
+            # Executor.map's contract: a resubmitted task is not
+            # re-poisoned (and consumes no draw), so crash_p=1.0 still
+            # converges after one recovery round per node.
+            crash = (
+                injector.crash_schedule(1)[0]
+                if injector is not None and resubmits == 0
+                else False
+            )
+            future = self.executor.submit(_run_node_task, task, crash=crash)
+            pending[future] = (task, resubmits)
+            if tracer is not None:
+                h = heights[task.nid]
+                now = tracer.clock.now()
+                lo, hi = windows.get(h, (now, now))
+                windows[h] = [min(lo, now), max(hi, now)]
+
+        for node in self.hierarchy.post_order():
+            if node.is_leaf:
+                submit(node)
+        while pending:
+            done, _ = concurrent.futures.wait(
+                pending, return_when=concurrent.futures.FIRST_COMPLETED
+            )
+            lost: list[tuple[_NodeTask, int]] = []
+            pool_broken = False
+            for future in done:
+                task, resubmits = pending.pop(future)
+                try:
+                    result = future.result()
+                except WorkerCrashError:
+                    lost.append((task, resubmits))
+                    continue
+                except BrokenProcessPool:
+                    pool_broken = True
+                    lost.append((task, resubmits))
+                    continue
+                node = nodes[task.nid]
+                self._ingest(
+                    task,
+                    result,
+                    plane,
+                    node_results,
+                    records,
+                    merged,
+                    registry,
+                    tracer,
+                    trace_buffer=buffered.setdefault(heights[task.nid], []),
+                )
+                if tracer is not None:
+                    h = heights[task.nid]
+                    now = tracer.clock.now()
+                    windows[h][1] = max(windows[h][1], now)
+                parent = node.parent
+                if parent is not None:
+                    waiting[parent.nid] -= 1
+                    if waiting[parent.nid] == 0:
+                        submit(parent)
+            if pool_broken:
+                self.executor.recover()
+            for task, resubmits in lost:
+                resubmits += 1
+                obs.inc("executor.tasks_resubmitted")
+                obs.instant(
+                    "executor.resubmit", cat="executor", nid=task.nid, round=resubmits
+                )
+                if resubmits > self.executor.max_resubmits:
+                    raise WorkerCrashError(
+                        f"node {task.nid} still lost to worker crashes after "
+                        f"{self.executor.max_resubmits} resubmission rounds"
+                    )
+                submit(nodes[task.nid], resubmits, task=task)
+        if tracer is not None:
+            fronts = self.wavefronts()
+            for h in sorted(windows):
+                start, end = windows[h]
+                wf = tracer.complete(
+                    f"wavefront[{h}]",
+                    "solve",
+                    start,
+                    end,
+                    nodes=len(fronts[h]),
+                    dispatch="dependency",
+                )
+                for payload in buffered.get(h, []):
+                    tracer.merge(payload, parent_id=wf.span_id)
+
+    # ----------------------------------------------------------- plumbing
+    def _ingest(
+        self,
+        task: _NodeTask,
+        result: tuple,
+        plane: SharedEstimatePlane | None,
+        node_results: dict[int, StructureEstimate],
+        records: list[NodeSolveRecord],
+        merged: Recorder,
+        registry,
+        tracer,
+        trace_parent: int | None = None,
+        trace_buffer: list[dict] | None = None,
+    ) -> None:
+        """Fold one completed node result into the cycle state."""
+        nid, posterior, events, seconds, n_batches, payload = result
+        if posterior is None:
+            posterior = plane.read_posterior(task.prior_handle)
+        if task.prior_handle is not None:
+            plane.release(task.prior_handle)
+        node = self.hierarchy.node(nid)
+        node_results[nid] = posterior
+        merged.events.extend(events)
+        if payload is not None:
+            if tracer is not None and payload["trace"] is not None:
+                if trace_buffer is not None:
+                    trace_buffer.append(payload["trace"])
+                else:
+                    tracer.merge(payload["trace"], parent_id=trace_parent)
+            if registry is not None:
+                registry.merge_snapshot(payload["metrics"])
+        records.append(
+            NodeSolveRecord(
+                nid=nid,
+                name=node.name,
+                depth=node.depth,
+                state_dim=node.state_dim,
+                n_constraint_rows=node.n_constraint_rows,
+                n_batches=n_batches,
+                seconds=seconds,
+                events=list(events),
+            )
+        )
+
     def _make_task(
         self,
         node: HierarchyNode,
         global_estimate: StructureEstimate,
         node_results: dict[int, StructureEstimate],
+        plane: SharedEstimatePlane | None = None,
     ) -> _NodeTask:
         if node.is_leaf:
             prior = global_estimate.extract_atoms(node.atoms)
         else:
             parts = [node_results.pop(c.nid) for c in node.children]
             prior = StructureEstimate.block_diagonal(parts)
+        handle = None
+        if plane is not None:
+            handle = plane.put_prior(prior)
+            prior = None
         return _NodeTask(
             nid=node.nid,
             prior=prior,
@@ -218,6 +457,7 @@ class ParallelHierarchicalSolver:
             column_map=node.column_map(self.hierarchy.n_atoms),
             batch_size=self.batch_size,
             options=self.options,
+            prior_handle=handle,
             trace=obs.current_tracer() is not None,
             collect_metrics=obs.current_metrics() is not None,
         )

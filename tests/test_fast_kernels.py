@@ -1,0 +1,382 @@
+"""Fast symmetric kernel path: unit tests and fast-vs-reference properties.
+
+The fast path (``UpdateOptions.kernel_impl="fast"``) must agree with the
+reference kernels to rtol 1e-10 on full solves — helix workloads, random
+SPD problems, every executor backend and both dispatch modes — while its
+building blocks (``symm``, ``trsm_right``, ``syrk_downdate``, the
+workspace arena) each match their NumPy references exactly.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.hier_solver import HierarchicalSolver
+from repro.core.state import StructureEstimate
+from repro.core.update import KERNEL_IMPLS, UpdateOptions, apply_batch
+from repro.constraints import DistanceConstraint, LinearConstraint, PositionConstraint
+from repro.constraints.batch import make_batches
+from repro.errors import DimensionError
+from repro.linalg import (
+    Workspace,
+    add_diagonal_inplace,
+    gather_cht,
+    get_workspace,
+    mirror_lower,
+    recording,
+    spmm_support,
+    symm,
+    syrk_downdate,
+    trsm_right,
+)
+from repro.linalg.counters import OpCategory
+from repro.parallel import (
+    ParallelHierarchicalSolver,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+)
+
+RTOL = 1e-10
+ATOL = 1e-12
+# Full hierarchical cycles accumulate over ~1500 constraint rows, so
+# near-zero entries need an absolute floor; 1e-10 absolute on O(10)
+# coordinates is still ~1e-11 relative agreement.
+SOLVE_ATOL = 1e-10
+
+EXECUTORS = {
+    "serial": SerialExecutor,
+    "thread": lambda: ThreadExecutor(2),
+    "process": lambda: ProcessExecutor(2),
+}
+
+
+def _spd(rng, n):
+    a = rng.normal(0, 1, (n, n))
+    return a @ a.T / n + np.eye(n)
+
+
+# --------------------------------------------------------------- unit kernels
+class TestSymm:
+    def test_matches_dense_product(self, rng):
+        c = _spd(rng, 12)
+        b = rng.normal(0, 1, (12, 5))
+        assert np.allclose(symm(c, b), c @ b, rtol=1e-13)
+
+    def test_writes_into_out_buffer(self, rng):
+        c = _spd(rng, 9)
+        b = rng.normal(0, 1, (9, 4))
+        out = np.empty((9, 4), order="F")
+        res = symm(c, b, out=out)
+        assert res is out or np.shares_memory(res, out)
+        assert np.allclose(out, c @ b)
+
+    def test_c_ordered_symmetric_input_needs_no_copy(self, rng):
+        c = np.ascontiguousarray(_spd(rng, 8))
+        b = rng.normal(0, 1, (8, 3))
+        assert np.allclose(symm(c, b), c @ b)
+
+    def test_rejects_bad_shapes(self, rng):
+        with pytest.raises(DimensionError):
+            symm(rng.normal(0, 1, (3, 4)), rng.normal(0, 1, (4, 2)))
+        with pytest.raises(DimensionError):
+            symm(_spd(rng, 4), rng.normal(0, 1, (5, 2)))
+
+
+class TestTrsm:
+    def test_solves_against_transposed_factor(self, rng):
+        s = _spd(rng, 6)
+        lower = np.linalg.cholesky(s)
+        b = rng.normal(0, 1, (10, 6))
+        w = trsm_right(lower, b.copy())
+        assert np.allclose(w @ lower.T, b, rtol=1e-12)
+
+    def test_no_transpose_form(self, rng):
+        s = _spd(rng, 5)
+        lower = np.linalg.cholesky(s)
+        b = rng.normal(0, 1, (7, 5))
+        k = trsm_right(lower, b.copy(), transpose=False)
+        assert np.allclose(k @ lower, b, rtol=1e-12)
+
+    def test_overwrites_fortran_rhs_in_place(self, rng):
+        s = _spd(rng, 4)
+        lower = np.linalg.cholesky(s)
+        b = np.asfortranarray(rng.normal(0, 1, (6, 4)))
+        w = trsm_right(lower, b)
+        assert np.shares_memory(w, b)
+
+
+class TestSyrkDowndate:
+    def test_matches_outer_product_downdate(self, rng):
+        c = np.asfortranarray(_spd(rng, 10))
+        w = rng.normal(0, 1, (10, 3))
+        expected = c - w @ w.T
+        res = syrk_downdate(c, w)
+        assert np.allclose(res, expected, rtol=1e-12)
+
+    def test_result_exactly_symmetric(self, rng):
+        c = np.asfortranarray(_spd(rng, 17))
+        res = syrk_downdate(c, rng.normal(0, 1, (17, 4)))
+        assert (res == res.T).all()
+
+    def test_works_on_transpose_view_of_c_ordered(self, rng):
+        base = np.ascontiguousarray(_spd(rng, 8))
+        expected = base - np.outer(base[:, 0], base[:, 0])
+        w = base[:, :1].copy()
+        syrk_downdate(base.T, w)  # F-contiguous view; symmetric downdate
+        assert np.allclose(base, expected, rtol=1e-12)
+
+    def test_rejects_non_fortran_target(self, rng):
+        with pytest.raises(DimensionError):
+            syrk_downdate(np.ascontiguousarray(_spd(rng, 5)), rng.normal(0, 1, (5, 2)))
+
+
+class TestSmallKernels:
+    def test_mirror_lower_both_orders(self, rng):
+        for order in ("C", "F"):
+            a = np.array(rng.normal(0, 1, (11, 11)), order=order)
+            mirror_lower(a)
+            assert (a == a.T).all()
+
+    def test_gather_cht_matches_full_product(self, rng):
+        n, m = 14, 4
+        c = _spd(rng, n)
+        support = np.array([1, 5, 9])
+        h = np.zeros((m, n))
+        h[:, support] = rng.normal(0, 1, (m, support.size))
+        cht = gather_cht(c, h[:, support], support)
+        assert np.allclose(cht, c @ h.T, rtol=1e-12)
+
+    def test_spmm_support_matches_full_product(self, rng):
+        n, m = 12, 3
+        c = _spd(rng, n)
+        support = np.array([0, 4, 7, 11])
+        h = np.zeros((m, n))
+        h[:, support] = rng.normal(0, 1, (m, support.size))
+        cht = c @ h.T
+        assert np.allclose(
+            spmm_support(h[:, support], cht, support), h @ cht, rtol=1e-12
+        )
+
+    def test_add_diagonal_inplace(self, rng):
+        a = rng.normal(0, 1, (6, 6))
+        expected = a + np.diag(np.arange(6.0))
+        res = add_diagonal_inplace(a, np.arange(6.0))
+        assert res is a
+        assert np.allclose(a, expected)
+
+    def test_kernels_emit_events(self, rng):
+        c = np.asfortranarray(_spd(rng, 6))
+        with recording() as rec:
+            symm(c, rng.normal(0, 1, (6, 2)))
+            syrk_downdate(c, rng.normal(0, 1, (6, 2)))
+        cats = [e.category for e in rec.events]
+        assert OpCategory.MATMAT in cats
+        assert len(cats) == 2
+        assert all(e.flops > 0 and e.bytes > 0 for e in rec.events)
+
+
+# ----------------------------------------------------------------- workspace
+class TestWorkspace:
+    def test_same_key_reuses_buffer(self):
+        ws = Workspace()
+        a = ws.take("x", (4, 3))
+        b = ws.take("x", (4, 3))
+        assert a is b
+        assert ws.hits == 1 and ws.misses == 1
+
+    def test_distinct_names_never_alias(self):
+        ws = Workspace()
+        a = ws.take("a", (5, 5))
+        b = ws.take("b", (5, 5))
+        assert not np.shares_memory(a, b)
+
+    def test_alternating_shapes_both_stay_cached(self):
+        ws = Workspace()
+        a1 = ws.take("x", (3, 3))
+        b1 = ws.take("x", (2, 7))
+        assert ws.take("x", (3, 3)) is a1
+        assert ws.take("x", (2, 7)) is b1
+
+    def test_order_is_part_of_the_key(self):
+        ws = Workspace()
+        f = ws.take("x", (3, 4), order="F")
+        c = ws.take("x", (3, 4), order="C")
+        assert f.flags.f_contiguous and c.flags.c_contiguous
+        assert not np.shares_memory(f, c)
+
+    def test_clear_and_nbytes(self):
+        ws = Workspace()
+        ws.take("x", (10, 10))
+        assert ws.nbytes() == 800
+        ws.clear()
+        assert ws.nbytes() == 0
+
+    def test_per_thread_arenas(self):
+        arenas = []
+
+        def grab():
+            arenas.append(get_workspace())
+
+        t = threading.Thread(target=grab)
+        t.start()
+        t.join()
+        assert arenas[0] is not get_workspace()
+
+
+# --------------------------------------------------- fast vs reference solves
+def _random_problem(rng, p=10):
+    coords = rng.normal(0, 2, (p, 3))
+    constraints = [
+        PositionConstraint(0, coords[0], 0.02),
+        PositionConstraint(p - 1, coords[p - 1], 0.02),
+    ]
+    for _ in range(3 * p):
+        i, j = rng.choice(p, size=2, replace=False)
+        d = float(np.linalg.norm(coords[i] - coords[j]))
+        constraints.append(DistanceConstraint(int(i), int(j), d, 0.05))
+    grp = (1, 2)
+    a = rng.normal(0, 1, (2, 6))
+    constraints.append(
+        LinearConstraint(grp, a, a @ coords[list(grp)].ravel(), np.array([0.1, 0.1]))
+    )
+    cov = _spd(rng, 3 * p)
+    estimate = StructureEstimate(
+        (coords + rng.normal(0, 0.3, coords.shape)).ravel(), cov
+    )
+    return estimate, constraints
+
+
+def _run_flat(estimate, constraints, impl, **kwargs):
+    options = UpdateOptions(kernel_impl=impl, **kwargs)
+    est = estimate
+    for batch in make_batches(constraints, 8):
+        est = apply_batch(est, batch, options=options)
+    return est
+
+
+class TestFastMatchesReference:
+    def test_invalid_impl_rejected(self, square_estimate, square_constraints):
+        batch = make_batches(square_constraints, 8)[0]
+        with pytest.raises(DimensionError, match="kernel_impl"):
+            apply_batch(
+                square_estimate, batch, options=UpdateOptions(kernel_impl="wat")
+            )
+        assert KERNEL_IMPLS == ("fast", "reference")
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_spd_problems(self, seed):
+        rng = np.random.default_rng(seed)
+        estimate, constraints = _random_problem(rng)
+        ref = _run_flat(estimate, constraints, "reference")
+        fast = _run_flat(estimate, constraints, "fast")
+        assert np.allclose(fast.mean, ref.mean, rtol=RTOL, atol=ATOL)
+        assert np.allclose(fast.covariance, ref.covariance, rtol=RTOL, atol=ATOL)
+
+    def test_joseph_branch(self, rng):
+        estimate, constraints = _random_problem(rng)
+        ref = _run_flat(estimate, constraints, "reference", joseph=True)
+        fast = _run_flat(estimate, constraints, "fast", joseph=True)
+        assert np.allclose(fast.covariance, ref.covariance, rtol=RTOL, atol=ATOL)
+
+    def test_local_iterations(self, rng):
+        estimate, constraints = _random_problem(rng)
+        ref = _run_flat(estimate, constraints, "reference", local_iterations=3)
+        fast = _run_flat(estimate, constraints, "fast", local_iterations=3)
+        assert np.allclose(fast.mean, ref.mean, rtol=RTOL, atol=ATOL)
+
+    def test_fast_posterior_is_exactly_symmetric(self, rng):
+        estimate, constraints = _random_problem(rng)
+        fast = _run_flat(estimate, constraints, "fast")
+        assert (fast.covariance == fast.covariance.T).all()
+
+    def test_posterior_does_not_alias_workspace(self, rng):
+        """A returned posterior must survive later batches untouched."""
+        estimate, constraints = _random_problem(rng)
+        batches = make_batches(constraints, 8)
+        first = apply_batch(estimate, batches[0], options=UpdateOptions())
+        snapshot = first.covariance.copy()
+        apply_batch(first, batches[1], options=UpdateOptions())
+        assert (first.covariance == snapshot).all()
+
+    def test_helix_hierarchical_solve(self, helix2_problem):
+        est = helix2_problem.initial_estimate(0)
+        ref = HierarchicalSolver(
+            helix2_problem.hierarchy,
+            batch_size=16,
+            options=UpdateOptions(kernel_impl="reference"),
+        ).run_cycle(est)
+        fast = HierarchicalSolver(
+            helix2_problem.hierarchy,
+            batch_size=16,
+            options=UpdateOptions(kernel_impl="fast"),
+        ).run_cycle(est)
+        assert np.allclose(
+            fast.estimate.mean, ref.estimate.mean, rtol=RTOL, atol=SOLVE_ATOL
+        )
+        assert np.allclose(
+            fast.estimate.covariance,
+            ref.estimate.covariance,
+            rtol=RTOL,
+            atol=SOLVE_ATOL,
+        )
+
+    def test_reference_impl_is_deterministic(self, helix2_problem):
+        est = helix2_problem.initial_estimate(0)
+        opts = UpdateOptions(kernel_impl="reference")
+        a = HierarchicalSolver(
+            helix2_problem.hierarchy, batch_size=16, options=opts
+        ).run_cycle(est)
+        b = HierarchicalSolver(
+            helix2_problem.hierarchy, batch_size=16, options=opts
+        ).run_cycle(est)
+        assert np.array_equal(a.estimate.mean, b.estimate.mean)
+        assert np.array_equal(a.estimate.covariance, b.estimate.covariance)
+
+    @pytest.mark.parametrize("backend", sorted(EXECUTORS))
+    @pytest.mark.parametrize("impl", KERNEL_IMPLS)
+    def test_all_backends_match_serial_reference(
+        self, helix2_problem, backend, impl
+    ):
+        est = helix2_problem.initial_estimate(0)
+        ref = HierarchicalSolver(
+            helix2_problem.hierarchy,
+            batch_size=16,
+            options=UpdateOptions(kernel_impl="reference"),
+        ).run_cycle(est)
+        with EXECUTORS[backend]() as ex:
+            par = ParallelHierarchicalSolver(
+                helix2_problem.hierarchy,
+                batch_size=16,
+                options=UpdateOptions(kernel_impl=impl),
+                executor=ex,
+            ).run_cycle(est)
+        assert np.allclose(
+            par.estimate.mean, ref.estimate.mean, rtol=RTOL, atol=SOLVE_ATOL
+        )
+        assert np.allclose(
+            par.estimate.covariance,
+            ref.estimate.covariance,
+            rtol=RTOL,
+            atol=SOLVE_ATOL,
+        )
+        if impl == "reference":
+            # same kernels, same order: bitwise, not just close
+            assert np.array_equal(par.estimate.mean, ref.estimate.mean)
+
+    @pytest.mark.parametrize("dispatch", ["dependency", "wavefront"])
+    def test_dispatch_modes_match_serial(self, helix2_problem, dispatch):
+        est = helix2_problem.initial_estimate(0)
+        serial = HierarchicalSolver(
+            helix2_problem.hierarchy, batch_size=16
+        ).run_cycle(est)
+        with ThreadExecutor(4) as ex:
+            par = ParallelHierarchicalSolver(
+                helix2_problem.hierarchy,
+                batch_size=16,
+                executor=ex,
+                dispatch=dispatch,
+            ).run_cycle(est)
+        assert np.array_equal(serial.estimate.mean, par.estimate.mean)
+        assert np.array_equal(serial.estimate.covariance, par.estimate.covariance)

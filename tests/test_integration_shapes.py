@@ -10,6 +10,7 @@ import pytest
 
 from repro.core.flat import FlatSolver
 from repro.core.hier_solver import HierarchicalSolver
+from repro.core.update import UpdateOptions
 from repro.experiments.report import growth_exponent
 from repro.linalg import OpCategory, recording
 from repro.machine import CHALLENGE, DASH, simulate_solve
@@ -22,7 +23,14 @@ from repro.molecules.superpose import superposed_rmsd
 def helix8_cycle():
     problem = build_helix(8)
     problem.assign()
-    solver = HierarchicalSolver(problem.hierarchy, batch_size=16)
+    # Simulator inputs are recorded with the reference kernels: the DASH
+    # rates are calibrated against the paper's kernel mix, which the fast
+    # symmetric kernels deliberately change (see docs/performance.md).
+    solver = HierarchicalSolver(
+        problem.hierarchy,
+        batch_size=16,
+        options=UpdateOptions(kernel_impl="reference"),
+    )
     cycle = solver.run_cycle(problem.initial_estimate(0))
     return problem, cycle
 
@@ -96,9 +104,11 @@ class TestParallelShapes:
         """High branching factor: ribo30S efficiency at 6 close to at 8."""
         problem = build_ribo30s()
         problem.assign()
-        cycle = HierarchicalSolver(problem.hierarchy, batch_size=16).run_cycle(
-            problem.initial_estimate(0)
-        )
+        cycle = HierarchicalSolver(
+            problem.hierarchy,
+            batch_size=16,
+            options=UpdateOptions(kernel_impl="reference"),
+        ).run_cycle(problem.initial_estimate(0))
         t = {
             p: simulate_solve(cycle, problem.hierarchy, DASH(), p).work_time
             for p in (1, 4, 6, 8)
