@@ -40,8 +40,8 @@ from repro.parallel import (
 )
 
 PROBLEMS = {
-    "helix": lambda: build_helix(4),
-    "ribosome": lambda: build_ribo30s(),
+    "helix": lambda seed: build_helix(4),  # helix geometry is deterministic
+    "ribosome": lambda seed: build_ribo30s(seed=seed),
 }
 BACKENDS = ("serial", "thread", "process")
 IMPLS = ("reference", "fast")
@@ -55,8 +55,10 @@ def _make_executor(backend: str, workers: int):
     return ProcessExecutor(workers)
 
 
-def _bench_one(problem, backend: str, impl: str, repeats: int, workers: int) -> dict:
-    estimate = problem.initial_estimate(0)
+def _bench_one(
+    problem, backend: str, impl: str, repeats: int, workers: int, seed: int = 0
+) -> dict:
+    estimate = problem.initial_estimate(seed)
     options = UpdateOptions(kernel_impl=impl)
     with _make_executor(backend, workers) as executor:
         solver = ParallelHierarchicalSolver(
@@ -82,7 +84,7 @@ def _bench_one(problem, backend: str, impl: str, repeats: int, workers: int) -> 
     }
 
 
-def _bench_flat(problem, impl: str, repeats: int) -> dict:
+def _bench_flat(problem, impl: str, repeats: int, seed: int = 0) -> dict:
     """Flat (single-node) solve: every batch at the full state dimension.
 
     This is the regime the symmetric kernels target — the helix form runs
@@ -90,7 +92,7 @@ def _bench_flat(problem, impl: str, repeats: int) -> dict:
     fast-over-reference criterion is read off this entry rather than the
     hierarchical cycle (whose many small leaf solves dilute the ratio).
     """
-    estimate = problem.initial_estimate(0)
+    estimate = problem.initial_estimate(seed)
     options = UpdateOptions(kernel_impl=impl)
     batches = make_batches(problem.constraints, 16)
     rows = sum(b.dimension for b in batches)
@@ -118,17 +120,19 @@ def _bench_flat(problem, impl: str, repeats: int) -> dict:
     }
 
 
-def run_suite(problems, backends, repeats: int, workers: int) -> dict:
+def run_suite(
+    problems, backends, repeats: int, workers: int, seed: int = 0
+) -> dict:
     results: dict[str, list[dict]] = {}
     for pname in problems:
-        problem = PROBLEMS[pname]()
+        problem = PROBLEMS[pname](seed)
         problem.assign()
         entries = []
         if pname == "helix":
             # Flat solve at the full 510-dim state: the n >= 300 regime
             # the symmetric kernels are built for (see _bench_flat).
             for impl in IMPLS:
-                entry = _bench_flat(problem, impl, repeats)
+                entry = _bench_flat(problem, impl, repeats, seed)
                 entries.append(entry)
                 print(
                     f"{pname:9s} {'flat':8s} {impl:10s} "
@@ -139,7 +143,7 @@ def run_suite(problems, backends, repeats: int, workers: int) -> dict:
                 )
         for backend in backends:
             for impl in IMPLS:
-                entry = _bench_one(problem, backend, impl, repeats, workers)
+                entry = _bench_one(problem, backend, impl, repeats, workers, seed)
                 entries.append(entry)
                 print(
                     f"{pname:9s} {backend:8s} {impl:10s} "
@@ -193,6 +197,12 @@ def main(argv=None) -> int:
     ap.add_argument("--repeats", type=int, default=3)
     ap.add_argument("--workers", type=int, default=4)
     ap.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="seed for molecule generation and the perturbed starting estimate",
+    )
+    ap.add_argument(
         "--problems", nargs="+", choices=sorted(PROBLEMS), default=sorted(PROBLEMS)
     )
     ap.add_argument("--backends", nargs="+", choices=BACKENDS, default=list(BACKENDS))
@@ -218,7 +228,7 @@ def main(argv=None) -> int:
     backends = ["serial"] if args.quick else args.backends
     repeats = 1 if args.quick else args.repeats
 
-    results = run_suite(problems, backends, repeats, args.workers)
+    results = run_suite(problems, backends, repeats, args.workers, args.seed)
     report = {
         "workloads": {
             "helix": "build_helix(4): 170 atoms, 510 state dims",
@@ -227,6 +237,7 @@ def main(argv=None) -> int:
         "quick": args.quick,
         "repeats": repeats,
         "workers": args.workers,
+        "seed": args.seed,
         "results": results,
         "fast_over_reference_speedup": _speedups(results),
     }

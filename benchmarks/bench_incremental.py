@@ -1,0 +1,230 @@
+"""Incremental re-solve benchmark: warm dirty-path vs cold solve.
+
+Bootstraps a :class:`repro.core.session.SolveSession` on the two paper
+workloads (helix length 4; synthetic 30S ribosome), applies a seeded
+leaf-local constraint delta, and times three things:
+
+* ``cold_solve`` — the full convergence bootstrap (what you would pay
+  re-running the solve from scratch after the edit);
+* ``warm_resolve`` — the session's dirty-path re-solve of the edit;
+* ``full_resolve`` — one full-tree pass from the same warm start (the
+  cache-free reference the warm result is checked bit-identical against).
+
+Every molecule, starting estimate, and delta constraint is derived from
+``--seed``, so runs are reproducible.
+
+Standalone — no pytest-benchmark required::
+
+    PYTHONPATH=src python benchmarks/bench_incremental.py --out BENCH_incremental.json
+
+CI runs the quick form and gates the warm-over-cold speedup::
+
+    PYTHONPATH=src python benchmarks/bench_incremental.py --quick \
+        --out /tmp/bench.json --check-against BENCH_incremental.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+import numpy as np
+
+import repro.core  # noqa: F401  - must import before repro.molecules.*
+from repro.constraints.distance import DistanceConstraint
+from repro.core.session import SolveSession
+from repro.molecules.ribosome import build_ribo30s
+from repro.molecules.rna import build_helix
+from repro.parallel import ProcessExecutor, ThreadExecutor
+
+PROBLEMS = {
+    "helix": lambda seed: build_helix(4),  # helix geometry is deterministic
+    "ribosome": lambda seed: build_ribo30s(seed=seed),
+}
+BACKENDS = ("serial", "thread", "process")
+
+
+def _make_executor(backend: str, workers: int):
+    if backend == "serial":
+        return None
+    if backend == "thread":
+        return ThreadExecutor(workers)
+    return ProcessExecutor(workers)
+
+
+def _leaf_delta(problem, rng: np.random.Generator) -> DistanceConstraint:
+    """A seeded constraint local to one leaf (the minimal dirty path)."""
+    leaves = problem.hierarchy.leaves()
+    leaf = leaves[int(rng.integers(len(leaves)))]
+    i, j = (int(a) for a in rng.choice(leaf.atoms, size=2, replace=False))
+    d = float(np.linalg.norm(problem.true_coords[i] - problem.true_coords[j]))
+    return DistanceConstraint(i, j, d, 0.01)
+
+
+def _bench_one(
+    pname: str, backend: str, cycles: int, workers: int, seed: int
+) -> dict:
+    problem = PROBLEMS[pname](seed)
+    rng = np.random.default_rng(seed)
+    estimate = problem.initial_estimate(seed)
+    executor = _make_executor(backend, workers)
+    try:
+        with SolveSession(
+            problem.hierarchy, problem.constraints, batch_size=16, executor=executor
+        ) as session:
+            t0 = time.perf_counter()
+            session.solve(estimate, max_cycles=cycles, tol=0.0)
+            cold_solve = time.perf_counter() - t0
+
+            session.add_constraints([_leaf_delta(problem, rng)])
+            t0 = time.perf_counter()
+            warm = session.resolve()
+            warm_resolve = time.perf_counter() - t0
+
+            t0 = time.perf_counter()
+            full = session.resolve(scope="full")
+            full_resolve = time.perf_counter() - t0
+
+            identical = bool(
+                np.array_equal(warm.estimate.mean, full.estimate.mean)
+                and np.array_equal(
+                    warm.estimate.covariance, full.estimate.covariance
+                )
+            )
+            n_nodes = len(problem.hierarchy.nodes)
+            entry = {
+                "backend": backend,
+                "cycles": cycles,
+                "n_nodes": n_nodes,
+                "dirty_nodes": warm.n_dirty,
+                "cached_subtrees_reused": warm.cache_hits,
+                "cold_solve_seconds": cold_solve,
+                "warm_resolve_seconds": warm_resolve,
+                "full_resolve_seconds": full_resolve,
+                "speedup_vs_cold_solve": cold_solve / warm_resolve,
+                "speedup_vs_full_resolve": full_resolve / warm_resolve,
+                "bit_identical_to_full_resolve": identical,
+            }
+    finally:
+        if executor is not None:
+            executor.close()
+    print(
+        f"{pname:9s} {backend:8s} cold {cold_solve:7.2f}s  "
+        f"warm {warm_resolve:6.3f}s  full-pass {full_resolve:6.3f}s  "
+        f"dirty {warm.n_dirty}/{n_nodes}  "
+        f"speedup {entry['speedup_vs_cold_solve']:6.1f}x cold / "
+        f"{entry['speedup_vs_full_resolve']:4.1f}x pass  "
+        f"identical={identical}",
+        flush=True,
+    )
+    return entry
+
+
+def run_suite(problems, backends, cycles: int, workers: int, seed: int) -> dict:
+    return {
+        pname: [
+            _bench_one(pname, backend, cycles, workers, seed)
+            for backend in backends
+        ]
+        for pname in problems
+    }
+
+
+def _gate(report: dict, baseline_path: str | None, min_speedup: float) -> int:
+    """Gate on the quick workload's serial warm-over-cold speedup.
+
+    The committed baseline is informational context for the absolute
+    numbers; the pass/fail criterion is the speedup ratio measured *in
+    this run* (host-speed independent) plus bit-identity.
+    """
+    entries = report["results"].get("helix") or next(
+        iter(report["results"].values())
+    )
+    entry = next(e for e in entries if e["backend"] == "serial")
+    speedup = entry["speedup_vs_cold_solve"]
+    if baseline_path:
+        with open(baseline_path) as fh:
+            baseline = json.load(fh)
+        base = next(
+            e
+            for e in baseline["results"]["helix"]
+            if e["backend"] == "serial"
+        )
+        print(
+            f"baseline helix serial speedup: {base['speedup_vs_cold_solve']:.1f}x "
+            f"(this run: {speedup:.1f}x)"
+        )
+    print(f"incremental gate: {speedup:.2f}x warm-over-cold (min {min_speedup:.1f}x)")
+    if not entry["bit_identical_to_full_resolve"]:
+        print("incremental gate FAILED: warm result not bit-identical", file=sys.stderr)
+        return 1
+    if speedup < min_speedup:
+        print("incremental gate FAILED: speedup below threshold", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--out", default="BENCH_incremental.json")
+    ap.add_argument("--cycles", type=int, default=8, help="bootstrap cycles")
+    ap.add_argument("--workers", type=int, default=4)
+    ap.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="seed for molecule generation, starting estimate, and the delta",
+    )
+    ap.add_argument(
+        "--problems", nargs="+", choices=sorted(PROBLEMS), default=sorted(PROBLEMS)
+    )
+    ap.add_argument("--backends", nargs="+", choices=BACKENDS, default=list(BACKENDS))
+    ap.add_argument(
+        "--quick",
+        action="store_true",
+        help="helix + serial backend only, 4 bootstrap cycles (the CI smoke)",
+    )
+    ap.add_argument(
+        "--check-against",
+        metavar="BASELINE",
+        help="print the committed baseline's figures next to this run's",
+    )
+    ap.add_argument(
+        "--min-speedup",
+        type=float,
+        default=3.0,
+        help="fail when the quick-workload serial warm-over-cold speedup is below this",
+    )
+    args = ap.parse_args(argv)
+
+    problems = ["helix"] if args.quick else args.problems
+    backends = ["serial"] if args.quick else args.backends
+    cycles = 4 if args.quick else args.cycles
+
+    results = run_suite(problems, backends, cycles, args.workers, args.seed)
+    report = {
+        "workloads": {
+            "helix": "build_helix(4): 170 atoms, 510 state dims",
+            "ribosome": "build_ribo30s(): ~900 atoms, 2700 state dims",
+        },
+        "delta": "one seeded leaf-local DistanceConstraint (minimal dirty path)",
+        "quick": args.quick,
+        "cycles": cycles,
+        "workers": args.workers,
+        "seed": args.seed,
+        "results": results,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.out}")
+
+    if args.quick or args.check_against:
+        return _gate(report, args.check_against, args.min_speedup)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

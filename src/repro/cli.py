@@ -10,6 +10,9 @@ Usage::
         --decomposition saved --anneal 100,0.5
     python -m repro solve helix8.npz --trace trace.json \
         --metrics-out metrics.json --obs-summary
+    python -m repro solve helix8.npz --session-dir sess/ --cycles 20
+    python -m repro resolve --session-dir sess/ --add dist:3:40:5.2:0.01 \
+        --out warm.npz
     python -m repro simulate helix8.npz --machine dash --processors 1,2,4,8
 
 ``solve`` writes the posterior estimate (plus, with ``--out``, a
@@ -80,6 +83,120 @@ def _parse_anneal(text: str | None) -> tuple[float, float] | None:
     return start, decay
 
 
+def _make_executor(backend: str, workers: int):
+    """Backend flag → executor (``None`` = the serial post-order solver)."""
+    if backend == "serial":
+        return None
+    from repro.parallel.executors import ProcessExecutor, ThreadExecutor
+
+    cls = ThreadExecutor if backend == "thread" else ProcessExecutor
+    return cls(workers)
+
+
+def _parse_constraint_spec(spec: str):
+    """``dist:i:j:d[:var]`` → a :class:`DistanceConstraint`."""
+    from repro.constraints.distance import DistanceConstraint
+
+    parts = spec.split(":")
+    if parts[0] not in ("dist", "distance") or len(parts) not in (4, 5):
+        raise SystemExit(
+            f"--add expects 'dist:i:j:d[:var]', got {spec!r}"
+        )
+    try:
+        i, j = int(parts[1]), int(parts[2])
+        d = float(parts[3])
+        var = float(parts[4]) if len(parts) == 5 else 0.01
+    except ValueError as exc:
+        raise SystemExit(f"--add: bad number in {spec!r}") from exc
+    return DistanceConstraint(i, j, d, var)
+
+
+def _cmd_session_solve(args: argparse.Namespace, problem) -> int:
+    """``solve --session-dir``: bootstrap a warm re-solve session."""
+    from repro import io as rio
+    from repro.core.session import SolveSession
+    from repro.core.update import UpdateOptions
+
+    if args.anneal:
+        raise SystemExit("--session-dir does not support --anneal "
+                         "(cached posteriors need a constant noise scale)")
+    if args.checkpoint_dir:
+        raise SystemExit("--session-dir and --checkpoint-dir are exclusive; "
+                         "sessions persist through the session directory")
+    executor = _make_executor(args.backend, args.workers)
+    try:
+        with SolveSession(
+            problem.hierarchy,
+            problem.constraints,
+            batch_size=args.batch,
+            options=UpdateOptions(
+                local_iterations=args.local_iterations,
+                max_retries=args.max_retries,
+                kernel_impl=args.kernel_impl,
+            ),
+            executor=executor,
+            store=args.session_dir,
+        ) as session:
+            report = session.solve(
+                problem.initial_estimate(args.seed),
+                max_cycles=args.cycles,
+                tol=args.tol,
+            )
+            print(
+                f"{'converged' if report.converged else 'stopped'} after "
+                f"{report.cycles} cycles (last delta {report.deltas[-1]:.3g})"
+            )
+            print(f"session saved to {args.session_dir} "
+                  f"({len(problem.hierarchy.nodes)} cached node posteriors)")
+            if args.out:
+                rio.save_estimate(args.out, report.estimate)
+                print(f"wrote estimate to {args.out}")
+    finally:
+        if executor is not None:
+            executor.close()
+    return 0
+
+
+def _cmd_resolve(args: argparse.Namespace) -> int:
+    """Warm incremental re-solve against a saved session directory."""
+    from repro import io as rio
+    from repro.core.session import SolveSession
+
+    executor = _make_executor(args.backend, args.workers)
+    try:
+        session = SolveSession.load(args.session_dir, executor=executor)
+        try:
+            if session.dirty_nids:
+                print(
+                    f"resuming interrupted re-solve: "
+                    f"{len(session.dirty_nids)} dirty nodes outstanding"
+                )
+            if args.add:
+                cids = session.add_constraints(
+                    [_parse_constraint_spec(s) for s in args.add]
+                )
+                print("added constraint ids: " + ", ".join(map(str, cids)))
+            if args.drop:
+                session.remove_constraints(args.drop)
+                print(f"dropped {len(args.drop)} constraints")
+            result = session.resolve(scope=args.scope)
+            total = len(session.hierarchy.nodes)
+            print(
+                f"re-solved {result.n_dirty}/{total} nodes "
+                f"(generation {result.generation}, {result.cache_hits} cached "
+                f"subtrees reused) in {result.seconds:.3f}s"
+            )
+            if args.out:
+                rio.save_estimate(args.out, result.estimate)
+                print(f"wrote estimate to {args.out}")
+        finally:
+            session.close()
+    finally:
+        if executor is not None:
+            executor.close()
+    return 0
+
+
 def _cmd_solve(args: argparse.Namespace) -> int:
     import contextlib
 
@@ -90,6 +207,8 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     from repro.faults import FaultConfig, FaultInjector, fault_injection
 
     problem = rio.load_problem(args.problem)
+    if args.session_dir:
+        return _cmd_session_solve(args, problem)
     decomposition = (
         problem.hierarchy if args.decomposition == "saved" else args.decomposition
     )
@@ -295,6 +414,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for per-node checkpoint/resume of the hierarchical solve",
     )
     solve.add_argument(
+        "--session-dir",
+        default=None,
+        help="bootstrap a warm re-solve session into this directory "
+        "(edit + re-solve it incrementally with 'resolve')",
+    )
+    solve.add_argument(
+        "--backend",
+        choices=["serial", "thread", "process"],
+        default="serial",
+        help="session solver backend (used with --session-dir)",
+    )
+    solve.add_argument(
+        "--workers", type=int, default=4, help="worker count for --backend"
+    )
+    solve.add_argument(
         "--max-retries",
         type=int,
         default=8,
@@ -320,6 +454,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the per-category kernel and span summary after solving",
     )
     solve.set_defaults(fn=_cmd_solve)
+
+    resolve = sub.add_parser(
+        "resolve",
+        help="incrementally re-solve a saved session after constraint edits",
+    )
+    resolve.add_argument(
+        "--session-dir",
+        required=True,
+        help="session directory written by 'solve --session-dir'",
+    )
+    resolve.add_argument(
+        "--add",
+        action="append",
+        default=[],
+        metavar="SPEC",
+        help="add a constraint: 'dist:i:j:d[:var]' (repeatable)",
+    )
+    resolve.add_argument(
+        "--drop",
+        action="append",
+        default=[],
+        type=int,
+        metavar="CID",
+        help="drop a constraint by id (repeatable)",
+    )
+    resolve.add_argument(
+        "--scope",
+        choices=["dirty", "full"],
+        default="dirty",
+        help="'dirty' re-solves only the dirty path; 'full' re-runs every node",
+    )
+    resolve.add_argument(
+        "--backend",
+        choices=["serial", "thread", "process"],
+        default="serial",
+    )
+    resolve.add_argument("--workers", type=int, default=4)
+    resolve.add_argument("--out", default=None)
+    resolve.set_defaults(fn=_cmd_resolve)
 
     sim = sub.add_parser("simulate", help="price a cycle on a modeled machine")
     sim.add_argument("problem")

@@ -11,6 +11,7 @@
 * :mod:`repro.core.assignment` — static processor assignment heuristic (§4.3).
 * :mod:`repro.core.decompose` — automatic structure decomposition (§5).
 * :mod:`repro.core.ordering` — constraint-ordering strategies (§5).
+* :mod:`repro.core.session` — incremental dirty-path re-solve sessions.
 """
 
 from repro.core.state import StructureEstimate
@@ -29,6 +30,7 @@ from repro.core.decompose import (
 from repro.core.ordering import order_constraints
 from repro.core.estimator import Solution, StructureEstimator
 from repro.core.diagnostics import ResidualReport, residual_report
+from repro.core.session import SessionResolveResult, SolveSession
 
 __all__ = [
     "ConvergenceReport",
@@ -39,7 +41,9 @@ __all__ = [
     "NodeSolveRecord",
     "ProcessorAssignment",
     "ResidualReport",
+    "SessionResolveResult",
     "Solution",
+    "SolveSession",
     "StructureEstimate",
     "StructureEstimator",
     "UpdateOptions",

@@ -39,6 +39,7 @@ from repro.linalg.counters import KernelEvent, Recorder, current_recorder, recor
 from repro.util.timer import Timer
 
 if TYPE_CHECKING:
+    from repro.core.session import NodeCacheProtocol
     from repro.faults.checkpoint import CheckpointManager
 
 
@@ -122,22 +123,54 @@ class HierarchicalSolver:
         self.n_constraint_rows = sum(n.n_constraint_rows for n in hierarchy.nodes)
         self._cycle_index = 0
         if checkpoint is not None:
-            checkpoint.bind(hierarchy.n_atoms)
+            from repro.io import assigned_constraints_token
+
+            # Cached node/cycle estimates are only valid for the exact
+            # constraint set that produced them; binding with the set's
+            # fingerprint makes an edited re-run discard them instead of
+            # replaying stale results (see CheckpointManager.bind).
+            checkpoint.bind(
+                hierarchy.n_atoms,
+                constraints_token=assigned_constraints_token(hierarchy),
+            )
 
     # ------------------------------------------------------------- solve
     def run_cycle(
-        self, estimate: StructureEstimate, options: UpdateOptions | None = None
+        self,
+        estimate: StructureEstimate,
+        options: UpdateOptions | None = None,
+        dirty: "frozenset[int] | set[int] | None" = None,
+        cache: "NodeCacheProtocol | None" = None,
     ) -> HierCycleResult:
-        """One complete post-order cycle over all constraints.
+        """One post-order cycle over all constraints (or a dirty frontier).
 
         ``options`` overrides the solver's defaults for this cycle only
         (used by the annealing schedule).
+
+        ``dirty`` restricts the post-order pass to the given node ids —
+        the incremental re-solve of :mod:`repro.core.session`.  The set
+        must be closed under the parent relation (a dirty node's
+        ancestors are dirty too; see :meth:`Hierarchy.dirty_closure`);
+        clean children of dirty nodes are read from ``cache`` verbatim
+        instead of being recomputed.  ``cache`` (an object with
+        ``load(nid)`` / ``store(nid, estimate)``) also receives every
+        posterior this pass computes, which is how a session keeps its
+        warm state current.  Restricted passes are the session's domain:
+        they cannot be combined with the solver-level ``checkpoint``
+        (sessions persist through their own :class:`SessionStore`).
         """
         if estimate.n_atoms != self.hierarchy.n_atoms:
             raise HierarchyError(
                 f"estimate covers {estimate.n_atoms} atoms, hierarchy expects "
                 f"{self.hierarchy.n_atoms}"
             )
+        if dirty is not None and self.checkpoint is not None:
+            raise HierarchyError(
+                "dirty-restricted cycles are incompatible with the per-node "
+                "checkpoint; use a SolveSession with a SessionStore instead"
+            )
+        if dirty is not None and cache is None and len(dirty) < len(self.hierarchy.nodes):
+            raise HierarchyError("a dirty-restricted cycle needs a posterior cache")
         cycle = self._cycle_index
         ck = self.checkpoint
         if ck is not None:
@@ -169,6 +202,8 @@ class HierarchicalSolver:
         ), recording(rec):
             with total_timer:
                 for node in self.hierarchy.post_order():
+                    if dirty is not None and node.nid not in dirty:
+                        continue
                     if ck is not None and ck.has_node(node.nid):
                         # Discard the children consumed by the original run
                         # of this node, mirroring the memory behaviour.
@@ -179,14 +214,21 @@ class HierarchicalSolver:
                         continue
                     node_results[node.nid] = self._solve_node(
                         node, estimate, node_results, rec, records, opts,
-                        quarantined, retries,
+                        quarantined, retries, cache=cache,
                     )
                     if ck is not None:
                         ck.save_node(node.nid, node_results[node.nid])
+                    if cache is not None:
+                        cache.store(node.nid, node_results[node.nid])
         obs.inc("solve.cycles")
         root = self.hierarchy.root
         final = estimate.copy()
-        node_results[root.nid].scatter_into(final, root.atoms)
+        root_posterior = node_results.get(root.nid)
+        if root_posterior is None:
+            # Possible only on a dirty-restricted pass with an empty
+            # frontier (a no-op re-solve); the cached root stands.
+            root_posterior = cache.load(root.nid)
+        root_posterior.scatter_into(final, root.atoms)
         if ck is not None:
             ck.finish_cycle(cycle, final)
         self._cycle_index += 1
@@ -211,6 +253,7 @@ class HierarchicalSolver:
         opts: UpdateOptions,
         quarantined: list[QuarantineRecord],
         retries: list[RetryReport],
+        cache: "NodeCacheProtocol | None" = None,
     ) -> StructureEstimate:
         timer = Timer()
         with obs.span(
@@ -229,8 +272,16 @@ class HierarchicalSolver:
                     prior = global_estimate.extract_atoms(node.atoms)
                 else:
                     # Children are mutually uncorrelated until this node's
-                    # boundary-spanning constraints connect them.
-                    parts = [node_results.pop(c.nid) for c in node.children]
+                    # boundary-spanning constraints connect them.  On a
+                    # dirty-restricted pass, clean children were skipped —
+                    # their converged posteriors come from the cache.
+                    parts = []
+                    for c in node.children:
+                        part = node_results.pop(c.nid, None)
+                        if part is None:
+                            part = cache.load(c.nid)
+                            obs.inc("session.cache_hits")
+                        parts.append(part)
                     prior = StructureEstimate.block_diagonal(parts)
                 local, n_batches = self._compute_node(
                     node, prior, opts, quarantined, retries

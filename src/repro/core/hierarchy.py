@@ -12,7 +12,7 @@ structural zeros.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, Sequence
+from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -173,6 +173,31 @@ class Hierarchy:
         for node in self.nodes:
             node.constraints.clear()
 
+    # ----------------------------------------------------- dirty tracking
+    def ancestor_path(self, node: HierarchyNode) -> Iterator[HierarchyNode]:
+        """``node`` and every ancestor up to (and including) the root.
+
+        This is the *dirty path* of an incremental delta landing on
+        ``node``: a changed constraint set at ``node`` invalidates exactly
+        the posteriors of ``node`` and its root-ward ancestors — every
+        other subtree's computation is untouched (§3's locality argument,
+        read backwards).
+        """
+        current: HierarchyNode | None = node
+        while current is not None:
+            yield current
+            current = current.parent
+
+    def dirty_closure(self, nids: Iterable[int]) -> set[int]:
+        """Union of the root-ward dirty paths of the given node ids."""
+        out: set[int] = set()
+        for nid in nids:
+            for node in self.ancestor_path(self.nodes[nid]):
+                if node.nid in out:
+                    break  # the rest of this path is already marked
+                out.add(node.nid)
+        return out
+
     # ------------------------------------------------------------- stats
     def constraint_rows_by_level(self) -> dict[int, int]:
         """Total scalar constraint rows assigned per tree depth."""
@@ -194,14 +219,19 @@ class Hierarchy:
         return at_leaves / total
 
 
-def assign_constraints(hierarchy: Hierarchy, constraints: Sequence[Constraint]) -> None:
+def assign_constraints(
+    hierarchy: Hierarchy, constraints: Sequence[Constraint]
+) -> list[int]:
     """Assign each constraint to the smallest node wholly containing it.
 
     Runs one LCA fold per constraint using a precomputed atom→leaf map;
-    existing assignments are cleared first.
+    existing assignments are cleared first.  Returns the owner node id of
+    each constraint, in input order (the session layer keeps this mapping
+    to route incremental deltas to their dirty paths).
     """
     hierarchy.clear_constraints()
     leaf_of = hierarchy.atom_leaf_map()
+    owners: list[int] = []
     for c in constraints:
         node: HierarchyNode | None = None
         for a in c.atoms:
@@ -212,6 +242,8 @@ def assign_constraints(hierarchy: Hierarchy, constraints: Sequence[Constraint]) 
             node = leaf if node is None else hierarchy.lowest_common_ancestor(node, leaf)
         assert node is not None
         node.constraints.append(c)
+        owners.append(node.nid)
+    return owners
 
 
 def flat_hierarchy(n_atoms: int) -> Hierarchy:

@@ -105,3 +105,7 @@ class BatchUpdateError(ReproError, RuntimeError):
 
 class CheckpointError(ReproError, RuntimeError):
     """A checkpoint directory is missing, corrupt, or from another problem."""
+
+
+class SessionError(ReproError, RuntimeError):
+    """A solve session was used out of order (e.g. re-solve before solve)."""

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.flat import FlatSolver
+from repro.core.update import UpdateOptions
 from repro.core.workmodel import WorkModel, fit_work_model
 from repro.experiments.report import render_table
 from repro.molecules.rna import build_helix
@@ -79,7 +80,16 @@ def run_table2(
         for i, m in enumerate(batch_dims):
             rows_budget = max(max_rows_per_cell, min_batches_per_cell * m)
             constraints = _take_rows(problem.constraints, rows_budget)
-            solver = FlatSolver(constraints, batch_size=m)
+            # Pinned to the reference kernels: this grid feeds the
+            # Equation 1 fit that calibrates the machine simulator, whose
+            # per-category rates are defined against the published
+            # (pre-optimization) kernel mix — same policy as
+            # repro.experiments.calibration.record_cycle.
+            solver = FlatSolver(
+                constraints,
+                batch_size=m,
+                options=UpdateOptions(kernel_impl="reference"),
+            )
             best = np.inf
             for _ in range(max(1, repeats)):
                 res = solver.run_cycle(estimate)

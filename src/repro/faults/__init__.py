@@ -9,7 +9,10 @@ The robustness layer of the estimator (see ``docs/robustness.md``):
   of how failures were absorbed (escalating-regularization retries,
   terminally quarantined constraint batches);
 * :class:`CheckpointManager` — per-node checkpoint/resume for the
-  hierarchical solve.
+  hierarchical solve;
+* :class:`SessionStore` — on-disk snapshots of incremental
+  :class:`~repro.core.session.SolveSession` state, so a killed warm
+  re-solve resumes warm.
 """
 
 from repro.faults.injector import (
@@ -26,10 +29,10 @@ def __getattr__(name: str):
     # CheckpointManager needs repro.core.state / repro.io, which import the
     # kernels, which import this package's injector — load it lazily so the
     # low-level hook sites can import repro.faults.injector cycle-free.
-    if name == "CheckpointManager":
-        from repro.faults.checkpoint import CheckpointManager
+    if name in ("CheckpointManager", "SessionStore"):
+        from repro.faults import checkpoint
 
-        return CheckpointManager
+        return getattr(checkpoint, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
@@ -40,6 +43,7 @@ __all__ = [
     "QuarantineRecord",
     "RetryAttempt",
     "RetryReport",
+    "SessionStore",
     "current_injector",
     "fault_injection",
 ]

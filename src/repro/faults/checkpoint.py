@@ -78,8 +78,16 @@ class CheckpointManager:
         os.replace(tmp, self._manifest_path())
 
     # --------------------------------------------------------------- binding
-    def bind(self, n_atoms: int) -> None:
-        """Attach the manager to a problem size; rejects a foreign directory."""
+    def bind(self, n_atoms: int, constraints_token: str | None = None) -> None:
+        """Attach the manager to a problem size; rejects a foreign directory.
+
+        ``constraints_token`` is a content fingerprint of the constraint
+        set being solved (see :func:`repro.io.assigned_constraints_token`).
+        Cached node and cycle estimates are only valid for the exact
+        constraint set that produced them; when the token differs from the
+        recorded one — the problem was edited between runs — every cached
+        artifact is discarded instead of being silently replayed stale.
+        """
         recorded = self._manifest.get("n_atoms")
         if recorded is None:
             self._manifest["n_atoms"] = int(n_atoms)
@@ -89,6 +97,23 @@ class CheckpointManager:
                 f"checkpoint directory {self.directory} belongs to a "
                 f"{recorded}-atom problem, not {n_atoms} atoms"
             )
+        if constraints_token is not None:
+            known = self._manifest.get("constraints_token")
+            if known is not None and known != constraints_token:
+                obs.instant(
+                    "checkpoint.invalidated",
+                    cat="checkpoint",
+                    reason="constraints_changed",
+                )
+                obs.inc("checkpoint.invalidations")
+                self._discard_node_files()
+                for path in self.directory.glob("cycle_*.npz"):
+                    path.unlink(missing_ok=True)
+                self._manifest["completed_cycles"] = []
+                self._manifest["current_cycle"] = None
+                self._manifest["completed_nodes"] = []
+            self._manifest["constraints_token"] = constraints_token
+            self._write_manifest()
 
     # ---------------------------------------------------------------- cycles
     def _cycle_path(self, k: int) -> Path:
@@ -168,3 +193,94 @@ class CheckpointManager:
             "completed_nodes": [],
         }
         self._write_manifest()
+
+
+_SESSION_MANIFEST = "session.json"
+_SESSION_VERSION = 1
+
+
+class SessionStore:
+    """On-disk snapshot of a :class:`repro.core.session.SolveSession`.
+
+    One directory holds:
+
+    * ``session.json`` — constraint set (canonical encodings, in session
+      order), hierarchy topology, per-node cache generations, the staged
+      dirty set, and the in-progress re-solve generation (if any);
+    * ``cycle_input.npz`` — the warm-start estimate the cached pass ran
+      from;
+    * ``node_<nid>.npz`` — each cached node posterior.
+
+    The store is deliberately mechanism-only: the session layer decides
+    *what* is valid (generation tags, dirty sets); the store guarantees
+    that every write is atomic, so a session killed mid-re-solve leaves a
+    directory from which :meth:`SolveSession.load` resumes warm — already
+    recomputed dirty nodes carry the new generation and are not redone,
+    and no node whose constraints changed can be replayed stale (its
+    generation still predates the staged re-solve).
+    """
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------- manifest
+    def _manifest_path(self) -> Path:
+        return self.directory / _SESSION_MANIFEST
+
+    def has_manifest(self) -> bool:
+        return self._manifest_path().exists()
+
+    def load_manifest(self) -> dict:
+        path = self._manifest_path()
+        if not path.exists():
+            raise CheckpointError(f"no session manifest in {self.directory}")
+        try:
+            manifest = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CheckpointError(f"unreadable session manifest {path}") from exc
+        if manifest.get("version") != _SESSION_VERSION:
+            raise CheckpointError(
+                f"session manifest {path} has version "
+                f"{manifest.get('version')!r}, expected {_SESSION_VERSION}"
+            )
+        return manifest
+
+    def save_manifest(self, manifest: dict) -> None:
+        manifest = dict(manifest)
+        manifest["version"] = _SESSION_VERSION
+        tmp = self._manifest_path().with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(manifest))
+        os.replace(tmp, self._manifest_path())
+
+    # ----------------------------------------------------------- estimates
+    def _node_path(self, nid: int) -> Path:
+        return self.directory / f"node_{nid}.npz"
+
+    def save_node(self, nid: int, estimate: StructureEstimate) -> None:
+        with obs.span("session.save_node", cat="checkpoint", nid=nid):
+            save_estimate(self._node_path(nid), estimate, atomic=True)
+        obs.inc("session.nodes_saved")
+
+    def load_node(self, nid: int) -> StructureEstimate:
+        path = self._node_path(nid)
+        if not path.exists():
+            raise CheckpointError(f"no cached posterior for node {nid} in {self.directory}")
+        with obs.span("session.load_node", cat="checkpoint", nid=nid):
+            return load_estimate(path)
+
+    def save_cycle_input(self, estimate: StructureEstimate) -> None:
+        save_estimate(self.directory / "cycle_input.npz", estimate, atomic=True)
+
+    def load_cycle_input(self) -> StructureEstimate:
+        path = self.directory / "cycle_input.npz"
+        if not path.exists():
+            raise CheckpointError(f"no cycle input estimate in {self.directory}")
+        return load_estimate(path)
+
+    def clear(self) -> None:
+        """Forget everything (fresh session against a reused directory)."""
+        for path in self.directory.glob("node_*.npz"):
+            path.unlink(missing_ok=True)
+        (self.directory / "cycle_input.npz").unlink(missing_ok=True)
+        self._manifest_path().unlink(missing_ok=True)

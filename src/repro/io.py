@@ -12,6 +12,7 @@ subclasses would need their own registry entry in ``_CONSTRAINT_TYPES``.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 from pathlib import Path
@@ -120,6 +121,44 @@ def _decode_constraint(d: dict) -> Constraint:
             np.array(d["v"]),
         )
     raise SerializationError(f"unknown constraint tag {t!r}")
+
+
+def encode_constraint(c: Constraint) -> dict:
+    """Public alias: the canonical JSON-able encoding of one constraint."""
+    return _encode_constraint(c)
+
+
+def decode_constraint(d: dict) -> Constraint:
+    """Inverse of :func:`encode_constraint`."""
+    return _decode_constraint(d)
+
+
+def constraints_token(constraints, *, nids=None) -> str:
+    """Content fingerprint of a constraint sequence (order-sensitive).
+
+    The checkpoint layer stores this token next to its cached node/cycle
+    estimates: a resumed solve whose constraint set differs from the one
+    that produced the checkpoints must not replay them (they would be
+    silently stale).  ``nids`` optionally interleaves each constraint's
+    owner node id so the token also changes when the same constraints are
+    assigned differently.
+    """
+    h = hashlib.sha256()
+    for k, c in enumerate(constraints):
+        tag = [int(nids[k]) if nids is not None else 0, _encode_constraint(c)]
+        h.update(json.dumps(tag, sort_keys=True, default=float).encode())
+    return h.hexdigest()
+
+
+def assigned_constraints_token(hierarchy) -> str:
+    """Fingerprint of a hierarchy's assigned constraint sets, in nid order."""
+    cs: list[Constraint] = []
+    nids: list[int] = []
+    for node in hierarchy.nodes:
+        for c in node.constraints:
+            cs.append(c)
+            nids.append(node.nid)
+    return constraints_token(cs, nids=nids)
 
 
 # ---------------------------------------------------------------- hierarchy

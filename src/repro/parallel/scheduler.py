@@ -139,6 +139,13 @@ class ParallelHierarchicalSolver:
         exactly when the backend pickles its tasks
         (:attr:`~repro.parallel.executors.Executor.needs_pickling`);
         ``True``/``False`` force it.
+    plane:
+        Optional borrowed :class:`SharedEstimatePlane`.  The scheduler
+        then keeps that plane alive across cycles (releasing only its
+        own transient segments) instead of closing a private plane after
+        every cycle — this is how a :class:`~repro.core.session.SolveSession`
+        keeps clean-subtree posterior segments pinned across re-solves.
+        The borrower owns the plane's lifetime.
     """
 
     def __init__(
@@ -149,6 +156,7 @@ class ParallelHierarchicalSolver:
         executor: Executor | None = None,
         dispatch: str = "dependency",
         shared_memory: bool | None = None,
+        plane: SharedEstimatePlane | None = None,
     ):
         if dispatch not in DISPATCH_MODES:
             raise HierarchyError(
@@ -160,6 +168,7 @@ class ParallelHierarchicalSolver:
         self.executor = executor if executor is not None else SerialExecutor()
         self.dispatch = dispatch
         self.shared_memory = shared_memory
+        self.plane = plane
         self.n_constraint_rows = sum(n.n_constraint_rows for n in hierarchy.nodes)
 
     # ----------------------------------------------------------- wavefronts
@@ -186,13 +195,30 @@ class ParallelHierarchicalSolver:
         return self.executor.needs_pickling
 
     # ----------------------------------------------------------- solve
-    def run_cycle(self, estimate: StructureEstimate) -> HierCycleResult:
-        """One complete cycle; results identical to the serial solver."""
+    def run_cycle(
+        self,
+        estimate: StructureEstimate,
+        dirty: "frozenset[int] | set[int] | None" = None,
+        cache=None,
+    ) -> HierCycleResult:
+        """One cycle (full or dirty-restricted); identical to the serial solver.
+
+        ``dirty``/``cache`` mirror
+        :meth:`repro.core.hier_solver.HierarchicalSolver.run_cycle`: only
+        nodes in ``dirty`` are dispatched, a dirty node whose child is
+        clean reads that child's converged posterior from ``cache``, and
+        every computed posterior is stored back.  When the cache is
+        backed by this solver's borrowed ``plane``, a completed node's
+        shared-memory segment is *promoted* into the cache in place of a
+        host-side copy (see :meth:`SharedEstimatePlane.promote`).
+        """
         if estimate.n_atoms != self.hierarchy.n_atoms:
             raise HierarchyError(
                 f"estimate covers {estimate.n_atoms} atoms, hierarchy expects "
                 f"{self.hierarchy.n_atoms}"
             )
+        if dirty is not None and cache is None and len(dirty) < len(self.hierarchy.nodes):
+            raise HierarchyError("a dirty-restricted cycle needs a posterior cache")
         total = Timer()
         node_results: dict[int, StructureEstimate] = {}
         records: list[NodeSolveRecord] = []
@@ -201,7 +227,11 @@ class ParallelHierarchicalSolver:
         # so nothing is double-counted).
         outer = current_recorder()
         merged = outer if outer is not None else Recorder()
-        plane = SharedEstimatePlane() if self._use_shared_memory() else None
+        if self.plane is not None and self._use_shared_memory():
+            plane, owns_plane = self.plane, False
+        else:
+            plane = SharedEstimatePlane() if self._use_shared_memory() else None
+            owns_plane = True
         try:
             with obs.span(
                 "cycle",
@@ -214,19 +244,26 @@ class ParallelHierarchicalSolver:
             ), total:
                 if self.dispatch == "wavefront":
                     self._run_wavefront(
-                        estimate, node_results, records, merged, plane
+                        estimate, node_results, records, merged, plane, dirty, cache
                     )
                 else:
                     self._run_dependency(
-                        estimate, node_results, records, merged, plane
+                        estimate, node_results, records, merged, plane, dirty, cache
                     )
         finally:
             if plane is not None:
-                plane.close()
+                if owns_plane:
+                    plane.close()
+                else:
+                    plane.close_transient()
         obs.inc("solve.cycles")
         root = self.hierarchy.root
         final = estimate.copy()
-        node_results[root.nid].scatter_into(final, root.atoms)
+        root_posterior = node_results.get(root.nid)
+        if root_posterior is None:
+            # Empty dirty frontier (no-op re-solve): the cached root stands.
+            root_posterior = cache.load(root.nid)
+        root_posterior.scatter_into(final, root.atoms)
         records.sort(key=lambda r: r.nid)
         return HierCycleResult(
             final, total.elapsed, merged, records, self.n_constraint_rows
@@ -240,15 +277,21 @@ class ParallelHierarchicalSolver:
         records: list[NodeSolveRecord],
         merged: Recorder,
         plane: SharedEstimatePlane | None,
+        dirty: "frozenset[int] | set[int] | None" = None,
+        cache=None,
     ) -> None:
         tracer = obs.current_tracer()
         registry = obs.current_metrics()
         for height, front in enumerate(self.wavefronts()):
+            if dirty is not None:
+                front = [n for n in front if n.nid in dirty]
+                if not front:
+                    continue
             with obs.span(
                 f"wavefront[{height}]", cat="solve", nodes=len(front)
             ) as wf:
                 tasks = [
-                    self._make_task(node, estimate, node_results, plane)
+                    self._make_task(node, estimate, node_results, plane, cache)
                     for node in front
                 ]
                 for task, result in zip(
@@ -264,6 +307,7 @@ class ParallelHierarchicalSolver:
                         registry,
                         tracer,
                         trace_parent=wf.span_id if wf is not None else None,
+                        cache=cache,
                     )
 
     # ------------------------------------------------- dependency-driven
@@ -274,13 +318,18 @@ class ParallelHierarchicalSolver:
         records: list[NodeSolveRecord],
         merged: Recorder,
         plane: SharedEstimatePlane | None,
+        dirty: "frozenset[int] | set[int] | None" = None,
+        cache=None,
     ) -> None:
         """Submit a node the moment its last child has completed.
 
         Ready-count bookkeeping: each inner node holds a count of
         unfinished children; a completion decrements its parent's count
         and a count of zero submits the parent immediately — no barrier
-        between heights.  Lost tasks (injected crashes or a broken
+        between heights.  On a dirty-restricted pass the counts span
+        *dirty* children only, so a node all of whose dirty children
+        have finished dispatches immediately — clean subtrees neither
+        run nor gate anything.  Lost tasks (injected crashes or a broken
         process pool) are resubmitted per task, bounded by the executor's
         ``max_resubmits``; a broken pool is rebuilt once per detection
         via :meth:`~repro.parallel.executors.Executor.recover`.
@@ -291,7 +340,13 @@ class ParallelHierarchicalSolver:
         heights = self.heights()
         nodes = {n.nid: n for n in self.hierarchy.nodes}
         waiting = {
-            n.nid: len(n.children) for n in self.hierarchy.nodes if not n.is_leaf
+            n.nid: (
+                len(n.children)
+                if dirty is None
+                else sum(1 for c in n.children if c.nid in dirty)
+            )
+            for n in self.hierarchy.nodes
+            if not n.is_leaf
         }
         # Per-height span windows + buffered worker trace payloads: the
         # wavefront grouping no longer exists at runtime, but the trace
@@ -302,7 +357,7 @@ class ParallelHierarchicalSolver:
 
         def submit(node: HierarchyNode, resubmits: int = 0, task=None) -> None:
             if task is None:
-                task = self._make_task(node, estimate, node_results, plane)
+                task = self._make_task(node, estimate, node_results, plane, cache)
             # One injected-crash draw per *original* submission, matching
             # Executor.map's contract: a resubmitted task is not
             # re-poisoned (and consumes no draw), so crash_p=1.0 still
@@ -321,7 +376,12 @@ class ParallelHierarchicalSolver:
                 windows[h] = [min(lo, now), max(hi, now)]
 
         for node in self.hierarchy.post_order():
-            if node.is_leaf:
+            if dirty is not None:
+                # Roots of the dirty frontier: dirty nodes with no dirty
+                # children (their clean children come from the cache).
+                if node.nid in dirty and waiting.get(node.nid, 0) == 0:
+                    submit(node)
+            elif node.is_leaf:
                 submit(node)
         while pending:
             done, _ = concurrent.futures.wait(
@@ -351,13 +411,14 @@ class ParallelHierarchicalSolver:
                     registry,
                     tracer,
                     trace_buffer=buffered.setdefault(heights[task.nid], []),
+                    cache=cache,
                 )
                 if tracer is not None:
                     h = heights[task.nid]
                     now = tracer.clock.now()
                     windows[h][1] = max(windows[h][1], now)
                 parent = node.parent
-                if parent is not None:
+                if parent is not None and (dirty is None or parent.nid in dirty):
                     waiting[parent.nid] -= 1
                     if waiting[parent.nid] == 0:
                         submit(parent)
@@ -403,13 +464,28 @@ class ParallelHierarchicalSolver:
         tracer,
         trace_parent: int | None = None,
         trace_buffer: list[dict] | None = None,
+        cache=None,
     ) -> None:
         """Fold one completed node result into the cycle state."""
         nid, posterior, events, seconds, n_batches, payload = result
         if posterior is None:
             posterior = plane.read_posterior(task.prior_handle)
+        if cache is not None:
+            if (
+                task.prior_handle is not None
+                and getattr(cache, "plane", None) is plane
+            ):
+                # The posterior already lives in the task's segment — pin
+                # it as the node's cached posterior instead of copying it
+                # host-side and re-uploading.
+                plane.promote(task.prior_handle, nid)
+                note = getattr(cache, "note_promoted", None)
+                if note is not None:
+                    note(nid, posterior)
+            else:
+                cache.store(nid, posterior)
         if task.prior_handle is not None:
-            plane.release(task.prior_handle)
+            plane.release(task.prior_handle)  # no-op for pinned segments
         node = self.hierarchy.node(nid)
         node_results[nid] = posterior
         merged.events.extend(events)
@@ -440,11 +516,18 @@ class ParallelHierarchicalSolver:
         global_estimate: StructureEstimate,
         node_results: dict[int, StructureEstimate],
         plane: SharedEstimatePlane | None = None,
+        cache=None,
     ) -> _NodeTask:
         if node.is_leaf:
             prior = global_estimate.extract_atoms(node.atoms)
         else:
-            parts = [node_results.pop(c.nid) for c in node.children]
+            parts = []
+            for c in node.children:
+                part = node_results.pop(c.nid, None)
+                if part is None:
+                    part = cache.load(c.nid)
+                    obs.inc("session.cache_hits")
+                parts.append(part)
             prior = StructureEstimate.block_diagonal(parts)
         handle = None
         if plane is not None:

@@ -137,11 +137,27 @@ def write_posterior(handle: EstimateHandle, estimate: StructureEstimate) -> None
 
 
 class SharedEstimatePlane:
-    """Owner of the per-node estimate segments in the dispatching process."""
+    """Owner of the per-node estimate segments in the dispatching process.
+
+    Beyond the per-task transient segments, the plane supports *pinned*
+    per-node posterior segments for incremental re-solves (see
+    :mod:`repro.core.session`): instead of releasing a completed node's
+    segment, :meth:`promote` retains it under the node id with the
+    plane's current *generation* tag.  A later re-solve reads clean
+    subtrees' posteriors straight out of their pinned segments
+    (:meth:`pinned_posterior`) rather than re-shipping them, and replaces
+    a dirty node's pin with the newly computed segment.  Generations are
+    bumped once per re-solve, so a segment's tag records which re-solve
+    last wrote it — the session's tests use this to prove clean subtrees
+    were physically reused.
+    """
 
     def __init__(self) -> None:
         self._segments: dict[str, shared_memory.SharedMemory] = {}
         self._dims: dict[str, int] = {}
+        self._pinned: dict[int, str] = {}  # nid -> segment name
+        self._pin_generation: dict[int, int] = {}
+        self.generation = 0
 
     def __len__(self) -> int:
         return len(self._segments)
@@ -149,6 +165,75 @@ class SharedEstimatePlane:
     def nbytes(self) -> int:
         """Total bytes currently held in live segments."""
         return sum(s.size for s in self._segments.values())
+
+    # ------------------------------------------------------------- pinning
+    def bump_generation(self) -> int:
+        """Advance the generation tag applied to subsequent pins."""
+        self.generation += 1
+        return self.generation
+
+    def promote(self, handle: EstimateHandle, nid: int) -> None:
+        """Pin ``handle``'s segment as node ``nid``'s posterior segment.
+
+        The segment stays alive across re-solves (it is exempt from
+        :meth:`release`) until a newer segment is promoted for the same
+        node or the plane is closed.  The displaced pin, if any, is
+        destroyed.
+        """
+        if handle.name not in self._segments:
+            raise KeyError(f"segment {handle.name} is not owned by this plane")
+        previous = self._pinned.get(nid)
+        self._pinned[nid] = handle.name
+        self._pin_generation[nid] = self.generation
+        if previous is not None and previous != handle.name:
+            self._destroy(previous)
+        obs.inc("shm.segments_pinned")
+
+    def pin_posterior(self, nid: int, estimate: StructureEstimate) -> None:
+        """Pin a posterior for ``nid`` by copying it into a fresh segment.
+
+        Used when the posterior was computed host-side (e.g. a serial
+        fallback pass) but the session keeps its cache on the plane.
+        """
+        n = estimate.mean.shape[0]
+        shm = shared_memory.SharedMemory(create=True, size=_segment_size(n))
+        self._segments[shm.name] = shm
+        self._dims[shm.name] = n
+        _mean_view(shm.buf, n, 1)[:] = estimate.mean
+        _cov_view(shm.buf, n, 1)[:, :] = estimate.covariance
+        obs.inc("shm.segments_created")
+        obs.inc("shm.bytes_allocated", shm.size)
+        self.promote(EstimateHandle(name=shm.name, n_state=n), nid)
+
+    def has_pinned(self, nid: int) -> bool:
+        return nid in self._pinned
+
+    def pinned_posterior(self, nid: int) -> StructureEstimate:
+        """Copy node ``nid``'s posterior out of its pinned segment."""
+        name = self._pinned.get(nid)
+        if name is None:
+            raise KeyError(f"no pinned segment for node {nid}")
+        shm = self._segments[name]
+        n = self._dims[name]
+        obs.inc("shm.segments_reused")
+        return StructureEstimate(
+            _mean_view(shm.buf, n, 1).copy(), _cov_view(shm.buf, n, 1).copy()
+        )
+
+    def pinned_generation(self, nid: int) -> int:
+        """Generation tag of node ``nid``'s pinned segment."""
+        return self._pin_generation[nid]
+
+    def pinned_name(self, nid: int) -> str:
+        """OS-level segment name pinned for ``nid`` (for lifetime checks)."""
+        return self._pinned[nid]
+
+    def unpin(self, nid: int) -> None:
+        """Drop and destroy node ``nid``'s pinned segment (idempotent)."""
+        name = self._pinned.pop(nid, None)
+        self._pin_generation.pop(nid, None)
+        if name is not None:
+            self._destroy(name)
 
     def put_prior(self, estimate: StructureEstimate) -> EstimateHandle:
         """Allocate a segment, write ``estimate`` as its prior, return a handle."""
@@ -171,9 +256,19 @@ class SharedEstimatePlane:
         )
 
     def release(self, handle: EstimateHandle) -> None:
-        """Destroy ``handle``'s segment; safe to call more than once."""
-        shm = self._segments.pop(handle.name, None)
-        self._dims.pop(handle.name, None)
+        """Destroy ``handle``'s segment; safe to call more than once.
+
+        Pinned segments are exempt: a release racing a promote (both run
+        in the dispatching process's ingest path) must never tear down a
+        segment the session cache still references.
+        """
+        if handle.name in self._pinned.values():
+            return
+        self._destroy(handle.name)
+
+    def _destroy(self, name: str) -> None:
+        shm = self._segments.pop(name, None)
+        self._dims.pop(name, None)
         if shm is None:
             return
         shm.close()
@@ -184,9 +279,18 @@ class SharedEstimatePlane:
         obs.inc("shm.segments_released")
 
     def close(self) -> None:
-        """Release every live segment (idempotent)."""
+        """Release every live segment, pinned included (idempotent)."""
+        self._pinned.clear()
+        self._pin_generation.clear()
         for name in list(self._segments):
-            self.release(EstimateHandle(name=name, n_state=self._dims.get(name, 0)))
+            self._destroy(name)
+
+    def close_transient(self) -> None:
+        """Release every segment that is not pinned (end of one pass)."""
+        pinned = set(self._pinned.values())
+        for name in list(self._segments):
+            if name not in pinned:
+                self._destroy(name)
 
     def __enter__(self) -> "SharedEstimatePlane":
         return self

@@ -84,6 +84,108 @@ class TestSolve:
             main(["solve", str(helix_file), "--anneal", "banana"])
 
 
+class TestSessionCLI:
+    @pytest.fixture
+    def session_dir(self, helix_file, tmp_path, capsys):
+        sdir = tmp_path / "session"
+        code = main(
+            [
+                "solve",
+                str(helix_file),
+                "--cycles",
+                "3",
+                "--session-dir",
+                str(sdir),
+            ]
+        )
+        assert code == 0
+        assert "session saved to" in capsys.readouterr().out
+        return sdir
+
+    def test_resolve_add(self, session_dir, tmp_path, capsys):
+        est_path = tmp_path / "warm.npz"
+        code = main(
+            [
+                "resolve",
+                "--session-dir",
+                str(session_dir),
+                "--add",
+                "dist:0:1:1.5:0.01",
+                "--out",
+                str(est_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "added constraint ids:" in out
+        assert "re-solved" in out and "cached" in out
+        assert rio.load_estimate(est_path).n_atoms == 86
+
+    def test_resolve_drop(self, session_dir, capsys):
+        # Drop the constraint id printed by a previous add.
+        main(["resolve", "--session-dir", str(session_dir), "--add", "dist:0:1:1.5"])
+        out = capsys.readouterr().out
+        cid = out.split("added constraint ids: ")[1].splitlines()[0].strip()
+        assert (
+            main(["resolve", "--session-dir", str(session_dir), "--drop", cid]) == 0
+        )
+        assert "dropped 1 constraints" in capsys.readouterr().out
+
+    def test_resolve_full_scope(self, session_dir, capsys):
+        assert (
+            main(
+                [
+                    "resolve",
+                    "--session-dir",
+                    str(session_dir),
+                    "--scope",
+                    "full",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "re-solved 15/15 nodes" in out
+
+    def test_session_dir_rejects_anneal(self, helix_file, tmp_path):
+        with pytest.raises(SystemExit, match="anneal"):
+            main(
+                [
+                    "solve",
+                    str(helix_file),
+                    "--session-dir",
+                    str(tmp_path / "s"),
+                    "--anneal",
+                    "10,0.5",
+                ]
+            )
+
+    def test_session_dir_rejects_checkpoint_dir(self, helix_file, tmp_path):
+        with pytest.raises(SystemExit, match="exclusive"):
+            main(
+                [
+                    "solve",
+                    str(helix_file),
+                    "--session-dir",
+                    str(tmp_path / "s"),
+                    "--checkpoint-dir",
+                    str(tmp_path / "ck"),
+                ]
+            )
+
+    def test_bad_constraint_spec(self, session_dir):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "resolve",
+                    "--session-dir",
+                    str(session_dir),
+                    "--add",
+                    "banana",
+                ]
+            )
+
+
 class TestSimulate:
     def test_table_output(self, helix_file, capsys):
         assert (
