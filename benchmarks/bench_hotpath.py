@@ -23,15 +23,18 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 import tracemalloc
+from pathlib import Path
 
 import repro.core  # noqa: F401  - must import before repro.molecules.rna
 from repro.constraints.batch import make_batches
 from repro.core.update import UpdateOptions, apply_batch
 from repro.molecules.ribosome import build_ribo30s
 from repro.molecules.rna import build_helix
+from repro.obs.regress import check_metric, hotpath_metric
 from repro.parallel import (
     ParallelHierarchicalSolver,
     ProcessExecutor,
@@ -169,26 +172,66 @@ def _speedups(results: dict) -> dict:
 
 
 def _check_regression(report: dict, baseline_path: str, max_ratio: float) -> int:
-    """Gate on the helix/serial/fast seconds_per_constraint figure."""
+    """Gate on the helix/serial/fast seconds_per_constraint figure.
+
+    Delegates pass/fail to :func:`repro.obs.regress.check_metric` — the
+    same judgment ``repro obs regress`` applies — so the CI gate and the
+    local CLI cannot disagree about what counts as a regression.
+    """
     with open(baseline_path) as fh:
         baseline = json.load(fh)
-
-    def _pick(rep):
-        for e in rep["results"]["helix"]:
-            if e["backend"] == "serial" and e["kernel_impl"] == "fast":
-                return e["seconds_per_constraint"]
-        raise KeyError("helix/serial/fast entry missing")
-
-    current, ref = _pick(report), _pick(baseline)
-    ratio = current / ref
+    current, ref = hotpath_metric(report), hotpath_metric(baseline)
+    check = check_metric(
+        "hotpath.helix.serial.fast.seconds_per_constraint",
+        [current],
+        limit=ref * max_ratio,
+        direction="higher-is-worse",
+        baseline=ref,
+    )
     print(
         f"perf gate: helix serial fast {current * 1e6:.2f} us/row vs "
-        f"baseline {ref * 1e6:.2f} us/row (ratio {ratio:.2f}, limit {max_ratio:.1f})"
+        f"baseline {ref * 1e6:.2f} us/row "
+        f"(ratio {current / ref:.2f}, limit {max_ratio:.1f})"
     )
-    if ratio > max_ratio:
+    if not check["ok"]:
         print("perf gate FAILED: seconds_per_constraint regressed", file=sys.stderr)
         return 1
     return 0
+
+
+def _export_obs(obs_dir: str, seed: int) -> None:
+    """Record one traced helix/serial/fast cycle and drop obs artifacts.
+
+    The benchmark loops themselves stay uninstrumented (tracing costs a
+    few percent); this extra cycle exists so every benchmark run leaves a
+    trace behind that ``repro obs doctor`` and Perfetto can open.
+    """
+    from repro import obs
+
+    out = Path(obs_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    problem = PROBLEMS["helix"](seed)
+    problem.assign()
+    estimate = problem.initial_estimate(seed)
+    tracer, registry = obs.Tracer(), obs.MetricsRegistry()
+    with SerialExecutor() as executor, obs.tracing(tracer), obs.metrics_scope(
+        registry
+    ):
+        solver = ParallelHierarchicalSolver(
+            problem.hierarchy,
+            batch_size=16,
+            options=UpdateOptions(kernel_impl="fast"),
+            executor=executor,
+        )
+        solver.run_cycle(estimate)
+    obs.write_chrome_trace(tracer, out / "hotpath_helix.trace.json")
+    obs.write_spans_jsonl(tracer, out / "hotpath_helix.spans.jsonl")
+    obs.write_metrics_json(
+        registry,
+        out / "hotpath_helix.metrics.json",
+        extra={"benchmark": "hotpath", "workload": "helix", "seed": seed},
+    )
+    print(f"wrote obs artifacts to {out}")
 
 
 def main(argv=None) -> int:
@@ -222,6 +265,14 @@ def main(argv=None) -> int:
         default=2.0,
         help="fail when helix serial fast us/row exceeds baseline x this ratio",
     )
+    ap.add_argument(
+        "--obs-dir",
+        default=os.environ.get("REPRO_BENCH_OBS_DIR") or None,
+        metavar="DIR",
+        help="also record one traced helix cycle and write obs artifacts "
+        "(trace JSON, spans JSONL, metrics) into DIR; defaults to "
+        "$REPRO_BENCH_OBS_DIR when set",
+    )
     args = ap.parse_args(argv)
 
     problems = ["helix"] if args.quick else args.problems
@@ -229,6 +280,8 @@ def main(argv=None) -> int:
     repeats = 1 if args.quick else args.repeats
 
     results = run_suite(problems, backends, repeats, args.workers, args.seed)
+    if args.obs_dir:
+        _export_obs(args.obs_dir, args.seed)
     report = {
         "workloads": {
             "helix": "build_helix(4): 170 atoms, 510 state dims",

@@ -27,8 +27,10 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
+from pathlib import Path
 
 import numpy as np
 
@@ -37,6 +39,7 @@ from repro.constraints.distance import DistanceConstraint
 from repro.core.session import SolveSession
 from repro.molecules.ribosome import build_ribo30s
 from repro.molecules.rna import build_helix
+from repro.obs.regress import check_metric, incremental_entry
 from repro.parallel import ProcessExecutor, ThreadExecutor
 
 PROBLEMS = {
@@ -144,26 +147,63 @@ def _gate(report: dict, baseline_path: str | None, min_speedup: float) -> int:
     )
     entry = next(e for e in entries if e["backend"] == "serial")
     speedup = entry["speedup_vs_cold_solve"]
+    baseline_speedup = None
     if baseline_path:
         with open(baseline_path) as fh:
             baseline = json.load(fh)
-        base = next(
-            e
-            for e in baseline["results"]["helix"]
-            if e["backend"] == "serial"
-        )
+        baseline_speedup = float(incremental_entry(baseline)["speedup_vs_cold_solve"])
         print(
-            f"baseline helix serial speedup: {base['speedup_vs_cold_solve']:.1f}x "
+            f"baseline helix serial speedup: {baseline_speedup:.1f}x "
             f"(this run: {speedup:.1f}x)"
         )
+    # Same judgment as ``repro obs regress``: absolute floor on the
+    # speedup ratio (host-speed independent), bit-identity must hold.
+    check = check_metric(
+        "incremental.helix.serial.speedup_vs_cold_solve",
+        [speedup],
+        limit=min_speedup,
+        direction="lower-is-worse",
+        baseline=baseline_speedup,
+    )
     print(f"incremental gate: {speedup:.2f}x warm-over-cold (min {min_speedup:.1f}x)")
     if not entry["bit_identical_to_full_resolve"]:
         print("incremental gate FAILED: warm result not bit-identical", file=sys.stderr)
         return 1
-    if speedup < min_speedup:
+    if not check["ok"]:
         print("incremental gate FAILED: speedup below threshold", file=sys.stderr)
         return 1
     return 0
+
+
+def _export_obs(obs_dir: str, cycles: int, seed: int) -> None:
+    """Record one traced warm re-solve and drop obs artifacts.
+
+    The timed benchmark runs stay uninstrumented; this extra session run
+    exists so ``repro obs doctor`` can inspect the warm ``resolve[k]``
+    pass (dirty-path node spans under the session spans).
+    """
+    from repro import obs
+
+    out = Path(obs_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    problem = PROBLEMS["helix"](seed)
+    rng = np.random.default_rng(seed)
+    estimate = problem.initial_estimate(seed)
+    tracer, registry = obs.Tracer(), obs.MetricsRegistry()
+    with SolveSession(
+        problem.hierarchy, problem.constraints, batch_size=16
+    ) as session, obs.tracing(tracer), obs.metrics_scope(registry):
+        session.solve(estimate, max_cycles=cycles, tol=0.0)
+        session.add_constraints([_leaf_delta(problem, rng)])
+        session.resolve()
+    obs.write_chrome_trace(tracer, out / "incremental_helix.trace.json")
+    obs.write_spans_jsonl(tracer, out / "incremental_helix.spans.jsonl")
+    obs.write_metrics_json(
+        registry,
+        out / "incremental_helix.metrics.json",
+        extra={"benchmark": "incremental", "workload": "helix", "seed": seed},
+    )
+    print(f"wrote obs artifacts to {out}")
 
 
 def main(argv=None) -> int:
@@ -197,6 +237,14 @@ def main(argv=None) -> int:
         default=3.0,
         help="fail when the quick-workload serial warm-over-cold speedup is below this",
     )
+    ap.add_argument(
+        "--obs-dir",
+        default=os.environ.get("REPRO_BENCH_OBS_DIR") or None,
+        metavar="DIR",
+        help="also record one traced warm re-solve and write obs artifacts "
+        "(trace JSON, spans JSONL, metrics) into DIR; defaults to "
+        "$REPRO_BENCH_OBS_DIR when set",
+    )
     args = ap.parse_args(argv)
 
     problems = ["helix"] if args.quick else args.problems
@@ -204,6 +252,8 @@ def main(argv=None) -> int:
     cycles = 4 if args.quick else args.cycles
 
     results = run_suite(problems, backends, cycles, args.workers, args.seed)
+    if args.obs_dir:
+        _export_obs(args.obs_dir, cycles, args.seed)
     report = {
         "workloads": {
             "helix": "build_helix(4): 170 atoms, 510 state dims",

@@ -14,13 +14,18 @@ Usage::
     python -m repro resolve --session-dir sess/ --add dist:3:40:5.2:0.01 \
         --out warm.npz
     python -m repro simulate helix8.npz --machine dash --processors 1,2,4,8
+    python -m repro obs doctor trace.jsonl --problem helix8.npz
+    python -m repro obs critical-path trace.jsonl
+    python -m repro obs regress --out regress.json
 
 ``solve`` writes the posterior estimate (plus, with ``--out``, a
 ``<out>.summary.json`` sidecar with convergence and robustness stats);
 ``--trace``/``--metrics-out``/``--obs-summary`` export the
 :mod:`repro.obs` timeline and metrics (see docs/observability.md);
 ``simulate`` prices one recorded cycle of the saved problem on a modeled
-machine (Tables 3-6 style).
+machine (Tables 3-6 style); the ``obs`` family analyzes recorded traces
+post-hoc (critical path, worker utilization, Equation-1 drift) and diffs
+fresh benchmark figures against the committed baselines.
 """
 
 from __future__ import annotations
@@ -337,6 +342,107 @@ def _write_solve_summary(args, problem, solution, injector, residuals):
     return path
 
 
+def _load_trace_and_hierarchy(args):
+    from repro import obs
+    from repro.errors import TraceAnalysisError
+
+    try:
+        tracer = obs.load_trace(args.trace)
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"cannot load trace {args.trace}: {exc}") from exc
+    hierarchy = None
+    if args.problem:
+        from repro import io as rio
+
+        hierarchy = rio.load_problem(args.problem).hierarchy
+    return tracer, hierarchy, TraceAnalysisError
+
+
+def _cmd_obs_doctor(args: argparse.Namespace) -> int:
+    import json
+
+    from repro import obs
+    from repro.core.workmodel import analytic_work_model
+
+    tracer, hierarchy, TraceAnalysisError = _load_trace_and_hierarchy(args)
+    model = analytic_work_model(args.flop_rate) if args.flop_rate else None
+    try:
+        report = obs.doctor_report(tracer, hierarchy=hierarchy, model=model)
+    except TraceAnalysisError as exc:
+        raise SystemExit(f"cannot analyze {args.trace}: {exc}") from exc
+    print(obs.format_doctor_report(report, top=args.top))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+        print(f"\nwrote report to {args.out}")
+    return 0
+
+
+def _cmd_obs_critical_path(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import analysis
+
+    tracer, hierarchy, TraceAnalysisError = _load_trace_and_hierarchy(args)
+    try:
+        passes = analysis.solve_passes(tracer)
+        edges = analysis.dag_edges(passes, hierarchy)
+    except TraceAnalysisError as exc:
+        raise SystemExit(f"cannot analyze {args.trace}: {exc}") from exc
+    doc = []
+    for p in passes:
+        cp = analysis.critical_path(p, edges)
+        doc.append({"label": p.label, "critical_path": cp})
+        print(
+            f"{p.label}: {cp['critical_path_seconds']:.4f}s critical path over "
+            f"{len(cp['chain'])} of {cp['n_nodes']} nodes "
+            f"(serial {cp['serial_seconds']:.4f}s, "
+            f"perfect speedup {cp['perfect_speedup']:.2f}x, "
+            f"achieved {cp['achieved_speedup']:.2f}x)"
+        )
+        for link in cp["chain"]:
+            print(
+                f"  node[{link['nid']}] {link['name']:<28} "
+                f"{link['seconds']:.4f}s ({link['share']:.1%})"
+            )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote report to {args.out}")
+    return 0
+
+
+def _cmd_obs_regress(args: argparse.Namespace) -> int:
+    import json
+
+    from repro import obs
+
+    hotpath = None if args.only == "incremental" else args.hotpath_baseline
+    incremental = None if args.only == "hotpath" else args.incremental_baseline
+    try:
+        report = obs.run_regress(
+            hotpath_baseline=hotpath,
+            incremental_baseline=incremental,
+            fresh_hotpath=args.fresh_hotpath or None,
+            fresh_incremental=args.fresh_incremental or None,
+            repeats=args.repeats,
+            max_ratio=args.max_regression,
+            min_speedup=args.min_speedup,
+            seed=args.seed,
+        )
+    except (OSError, KeyError, ValueError) as exc:
+        raise SystemExit(f"regress: {exc}") from exc
+    print(obs.format_regress_report(report))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    return 0 if report["ok"] else 1
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro import io as rio
     from repro.core.hier_solver import HierarchicalSolver
@@ -501,6 +607,105 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--batch", type=int, default=16)
     sim.add_argument("--seed", type=int, default=0)
     sim.set_defaults(fn=_cmd_simulate)
+
+    obs_cmd = sub.add_parser(
+        "obs", help="post-hoc trace analytics and benchmark regression gates"
+    )
+    obs_sub = obs_cmd.add_subparsers(dest="obs_command", required=True)
+
+    doctor = obs_sub.add_parser(
+        "doctor",
+        help="critical path, worker utilization and Equation-1 drift of a trace",
+    )
+    doctor.add_argument(
+        "trace", help="trace file from 'solve --trace' (.jsonl or Chrome JSON)"
+    )
+    doctor.add_argument(
+        "--problem",
+        default=None,
+        help="saved problem .npz; supplies the hierarchy when node spans "
+        "carry no parent_nid attribute",
+    )
+    doctor.add_argument("--out", default=None, help="also write the report as JSON")
+    doctor.add_argument(
+        "--top", type=int, default=5, help="chain links / residuals shown per pass"
+    )
+    doctor.add_argument(
+        "--flop-rate",
+        type=float,
+        default=None,
+        help="host flop rate for the analytic Equation-1 model "
+        "(default: the model's calibration default)",
+    )
+    doctor.set_defaults(fn=_cmd_obs_doctor)
+
+    cpath = obs_sub.add_parser(
+        "critical-path", help="longest dependency chain through each solver pass"
+    )
+    cpath.add_argument("trace")
+    cpath.add_argument("--problem", default=None)
+    cpath.add_argument("--out", default=None)
+    cpath.set_defaults(fn=_cmd_obs_critical_path)
+
+    regress = obs_sub.add_parser(
+        "regress",
+        help="diff fresh benchmark figures against the committed baselines",
+    )
+    regress.add_argument(
+        "--hotpath-baseline",
+        default="BENCH_hotpath.json",
+        help="committed hot-path baseline report",
+    )
+    regress.add_argument(
+        "--incremental-baseline",
+        default="BENCH_incremental.json",
+        help="committed incremental baseline report",
+    )
+    regress.add_argument(
+        "--only",
+        choices=["hotpath", "incremental"],
+        default=None,
+        help="run a single gate instead of both",
+    )
+    regress.add_argument(
+        "--fresh-hotpath",
+        action="append",
+        default=[],
+        metavar="REPORT",
+        help="fresh bench_hotpath report(s) to diff instead of measuring "
+        "in-process (repeatable; one sample each)",
+    )
+    regress.add_argument(
+        "--fresh-incremental",
+        action="append",
+        default=[],
+        metavar="REPORT",
+        help="fresh bench_incremental report(s) to diff instead of measuring "
+        "in-process (repeatable)",
+    )
+    regress.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="in-process measurement repeats per metric (noise band)",
+    )
+    regress.add_argument(
+        "--max-regression",
+        type=float,
+        default=2.0,
+        help="hot-path limit: baseline seconds_per_constraint x this ratio",
+    )
+    regress.add_argument(
+        "--min-speedup",
+        type=float,
+        default=3.0,
+        help="incremental floor: warm-over-cold speedup must stay above this",
+    )
+    regress.add_argument("--seed", type=int, default=0)
+    regress.add_argument(
+        "--out", default=None, help="write the machine-readable verdict JSON"
+    )
+    regress.set_defaults(fn=_cmd_obs_regress)
     return parser
 
 

@@ -265,6 +265,8 @@ class HierarchicalSolver:
             state_dim=node.state_dim,
             rows=node.n_constraint_rows,
             leaf=node.is_leaf,
+            batch_size=self.batch_size,
+            parent_nid=-1 if node.parent is None else node.parent.nid,
         ) as sp, rec.tagged(node.nid):
             n_events_before = len(rec.events)
             with timer:

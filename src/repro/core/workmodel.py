@@ -71,6 +71,40 @@ class WorkModel:
         preds = [self.per_constraint(n, m) for m in candidates]
         return int(candidates[int(np.argmin(preds))])
 
+    # ----------------------------------------------------------- residuals
+    def node_work_batch(
+        self,
+        n: Sequence[float] | np.ndarray,
+        rows: Sequence[float] | np.ndarray,
+        m: Sequence[float] | np.ndarray,
+    ) -> np.ndarray:
+        """Vectorized :meth:`node_work` over per-node sample arrays."""
+        n = np.asarray(n, dtype=np.float64)
+        rows = np.asarray(rows, dtype=np.float64)
+        m = np.minimum(np.asarray(m, dtype=np.float64), np.maximum(rows, 1.0))
+        out = rows * np.asarray(self.per_constraint(n, m), dtype=np.float64)
+        return np.where(rows > 0, out, 0.0)
+
+    def residuals(
+        self,
+        n: Sequence[float] | np.ndarray,
+        rows: Sequence[float] | np.ndarray,
+        m: Sequence[float] | np.ndarray,
+        measured: Sequence[float] | np.ndarray,
+        scale: float = 1.0,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-node ``(predicted, measured - scale·predicted)`` arrays.
+
+        ``scale`` maps the model's time unit onto the measuring host's
+        (the fitted machine and the traced machine generally differ);
+        :func:`drift_report` estimates it robustly before judging fit.
+        """
+        predicted = self.node_work_batch(n, rows, m)
+        measured = np.asarray(measured, dtype=np.float64)
+        if predicted.shape != measured.shape:
+            raise WorkModelError("measured durations must match the sample arrays")
+        return predicted, measured - scale * predicted
+
     # -------------------------------------------------------------- checks
     def satisfies_paper_checks(self) -> bool:
         c = self.coefficients
@@ -126,6 +160,82 @@ def fit_work_model(
         if not model.satisfies_paper_checks():
             raise WorkModelError("constrained regression failed the paper's checks")
     return model
+
+
+def drift_report(
+    model: WorkModel,
+    n: Sequence[float] | np.ndarray,
+    rows: Sequence[float] | np.ndarray,
+    m: Sequence[float] | np.ndarray,
+    measured: Sequence[float] | np.ndarray,
+    r2_threshold: float = 0.7,
+    rel_threshold: float = 0.5,
+) -> dict:
+    """Judge how well Equation 1 still predicts measured per-node durations.
+
+    A single host-speed scale (robust median of measured/predicted ratios)
+    is fitted first, so the verdict reflects the *shape* of the model —
+    what processor assignment actually depends on — not the absolute rate
+    of the machine the model was calibrated on.  Returns a JSON-ready dict
+    with the fitted scale, per-node residuals, R² of the scaled
+    prediction, the median/max absolute relative residual, and a verdict:
+    ``"calibrated"`` when both thresholds hold, ``"stale"`` when either
+    fails, ``"insufficient-data"`` below 3 usable samples.
+    """
+    n = np.asarray(n, dtype=np.float64)
+    rows = np.asarray(rows, dtype=np.float64)
+    m = np.asarray(m, dtype=np.float64)
+    measured = np.asarray(measured, dtype=np.float64)
+    predicted = model.node_work_batch(n, rows, m)
+    usable = (predicted > 0) & (measured > 0)
+    base = {
+        "n_samples": int(usable.sum()),
+        "r2_threshold": float(r2_threshold),
+        "rel_threshold": float(rel_threshold),
+    }
+    if usable.sum() < 3:
+        return {**base, "verdict": "insufficient-data", "scale": None,
+                "r2": None, "median_abs_rel": None, "max_abs_rel": None,
+                "residuals": []}
+    pred_u, meas_u = predicted[usable], measured[usable]
+    scale = float(np.median(meas_u / pred_u))
+    scaled = scale * pred_u
+    resid = meas_u - scaled
+    ss_res = float(resid @ resid)
+    centered = meas_u - meas_u.mean()
+    ss_tot = float(centered @ centered)
+    if ss_tot > 0:
+        r2 = 1.0 - ss_res / ss_tot
+    else:
+        r2 = 1.0 if ss_res <= 1e-30 else 0.0
+    rel = np.abs(resid) / meas_u
+    verdict = (
+        "calibrated"
+        if r2 >= r2_threshold and float(np.median(rel)) <= rel_threshold
+        else "stale"
+    )
+    idx = np.flatnonzero(usable)
+    residuals = [
+        {
+            "n": float(n[i]),
+            "rows": float(rows[i]),
+            "m": float(min(m[i], max(rows[i], 1.0))),
+            "measured": float(measured[i]),
+            "predicted": float(scale * predicted[i]),
+            "residual": float(measured[i] - scale * predicted[i]),
+            "rel": float(abs(measured[i] - scale * predicted[i]) / measured[i]),
+        }
+        for i in idx
+    ]
+    return {
+        **base,
+        "verdict": verdict,
+        "scale": scale,
+        "r2": float(r2),
+        "median_abs_rel": float(np.median(rel)),
+        "max_abs_rel": float(rel.max()),
+        "residuals": residuals,
+    }
 
 
 def analytic_work_model(flop_rate: float = 2.0e8) -> WorkModel:

@@ -109,3 +109,12 @@ class CheckpointError(ReproError, RuntimeError):
 
 class SessionError(ReproError, RuntimeError):
     """A solve session was used out of order (e.g. re-solve before solve)."""
+
+
+class TraceAnalysisError(ReproError, RuntimeError):
+    """A recorded trace cannot support the requested analysis.
+
+    Examples: no solver cycles recorded, or node spans lacking the
+    ``parent_nid`` attribute when no hierarchy was supplied to rebuild
+    the dependency DAG.
+    """

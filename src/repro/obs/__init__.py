@@ -12,8 +12,13 @@ with contextvar scopes so an uninstrumented run stays bit-identical:
   FLOPs, executor resubmissions, checkpoint I/O).
 * **Exporters** (:mod:`repro.obs.export`) — Chrome trace-event JSON for
   ``chrome://tracing``/Perfetto, a flat JSONL span log, and a terminal
-  per-category summary; :mod:`repro.obs.validate` checks exported traces
-  against the trace-event schema.
+  per-category summary; loaders (:func:`load_trace`) round-trip both
+  formats back into a :class:`Tracer`; :mod:`repro.obs.validate` checks
+  exported files against their schemas.
+* **Analytics** (:mod:`repro.obs.analysis`, :mod:`repro.obs.regress`) —
+  strictly post-hoc: critical path through the node-dependency DAG,
+  per-worker utilization/imbalance, Equation-1 drift, and noise-aware
+  benchmark regression diffing (the ``repro obs`` CLI family).
 
 Typical use::
 
@@ -34,6 +39,9 @@ contextvar read when observability is off.
 from repro.obs.export import (
     chrome_trace_events,
     format_obs_summary,
+    load_trace,
+    read_chrome_trace,
+    read_spans_jsonl,
     write_chrome_trace,
     write_metrics_json,
     write_spans_jsonl,
@@ -58,13 +66,32 @@ from repro.obs.tracer import (
     span,
     tracing,
 )
-def __getattr__(name: str):
+_LAZY = {
     # Lazy: keeps ``python -m repro.obs.validate`` free of the runpy
-    # double-import warning while still exporting the validate API here.
-    if name in ("trace_stats", "validate_chrome_trace"):
-        from repro.obs import validate
+    # double-import warning while still exporting the validate API here,
+    # and keeps the analysis/regress machinery (numpy-heavy, CLI-facing)
+    # out of the instrumentation import path.
+    "trace_stats": "repro.obs.validate",
+    "validate_chrome_trace": "repro.obs.validate",
+    "validate_spans_jsonl": "repro.obs.validate",
+    "critical_path": "repro.obs.analysis",
+    "doctor_report": "repro.obs.analysis",
+    "eq1_drift": "repro.obs.analysis",
+    "format_doctor_report": "repro.obs.analysis",
+    "solve_passes": "repro.obs.analysis",
+    "worker_utilization": "repro.obs.analysis",
+    "check_metric": "repro.obs.regress",
+    "format_regress_report": "repro.obs.regress",
+    "median_mad": "repro.obs.regress",
+    "run_regress": "repro.obs.regress",
+}
 
-        return getattr(validate, name)
+
+def __getattr__(name: str):
+    if name in _LAZY:
+        import importlib
+
+        return getattr(importlib.import_module(_LAZY[name]), name)
     raise AttributeError(f"module 'repro.obs' has no attribute {name!r}")
 
 
@@ -76,19 +103,33 @@ __all__ = [
     "MetricsRegistry",
     "Span",
     "Tracer",
+    "check_metric",
     "chrome_trace_events",
+    "critical_path",
     "current_metrics",
     "current_tracer",
+    "doctor_report",
+    "eq1_drift",
+    "format_doctor_report",
     "format_obs_summary",
+    "format_regress_report",
     "inc",
     "instant",
+    "load_trace",
+    "median_mad",
     "metrics_scope",
     "observe",
+    "read_chrome_trace",
+    "read_spans_jsonl",
+    "run_regress",
     "set_gauge",
+    "solve_passes",
     "span",
     "trace_stats",
     "tracing",
     "validate_chrome_trace",
+    "validate_spans_jsonl",
+    "worker_utilization",
     "write_chrome_trace",
     "write_metrics_json",
     "write_spans_jsonl",

@@ -1,13 +1,21 @@
-"""Chrome trace-event schema validation.
+"""Exported-trace schema validation: Chrome trace-event JSON and spans JSONL.
 
-Checks the invariants the exporter guarantees and that trace viewers
-depend on: every ``B`` has a matching ``E`` in its lane, lanes use
-consistent integer ``pid``/``tid``, timestamps are non-negative and
-non-decreasing within a lane's duration events, and instant events carry
-a valid scope.  Runnable as a module for the CI smoke step::
+Checks the invariants the exporters guarantee and that downstream
+consumers depend on.  For Chrome traces: every ``B`` has a matching
+``E`` in its lane, lanes use consistent integer ``pid``/``tid``,
+timestamps are non-negative and non-decreasing within a lane's duration
+events, and instant events carry a valid scope.  For spans-JSONL files
+(:func:`repro.obs.export.write_spans_jsonl`): well-typed rows sorted by
+start time, unique span ids, resolvable parent references, JSON-scalar
+attributes, and — the cross-process merge invariant — spans sharing a
+``(pid, tid)`` lane must properly nest, never partially overlap, even
+when their parents live in another lane.  Runnable as a module for the
+CI smoke step; the file format is picked by extension (``.jsonl`` →
+spans log, anything else → Chrome JSON)::
 
     python -m repro.obs.validate trace.json --require-depth 4 \\
         --expect-name cycle --expect-name batch
+    python -m repro.obs.validate spans.jsonl --expect-name node
 """
 
 from __future__ import annotations
@@ -105,12 +113,163 @@ def trace_stats(doc: dict) -> dict:
     return {"lanes": len(lanes), "spans": spans, "max_depth": max_depth}
 
 
+_SCALAR = (str, int, float, bool, type(None))
+
+
+def validate_spans_jsonl(rows: list[object]) -> list[str]:
+    """Return schema problems for parsed spans-JSONL rows (empty = valid).
+
+    ``rows`` is the parsed file: one dict per line, in file order.
+    Beyond per-row typing this enforces the invariants the exporter and
+    the cross-process merge guarantee together: rows sorted by
+    start/instant time, span ids unique, parent ids resolvable within
+    the file, and per-lane proper nesting — two spans on one ``(pid,
+    tid)`` lane are either disjoint or one contains the other, which is
+    what makes per-worker busy-time attribution well defined.
+    """
+    problems: list[str] = []
+    span_ids: set[int] = set()
+    parent_refs: list[tuple[int, object]] = []
+    lanes: dict[tuple[int, int], list[tuple[float, float, int]]] = {}
+    prev_key = None
+    for i, row in enumerate(rows):
+        where = f"row {i}"
+        if not isinstance(row, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        kind = row.get("type")
+        if kind not in ("span", "instant"):
+            problems.append(f"{where}: unknown or missing type {kind!r}")
+            continue
+        if not isinstance(row.get("name"), str) or not row["name"]:
+            problems.append(f"{where}: needs a non-empty string name")
+        if not isinstance(row.get("pid"), int) or not isinstance(row.get("tid"), int):
+            problems.append(f"{where}: pid/tid must be integers")
+            continue
+        attrs = row.get("attrs", {})
+        if not isinstance(attrs, dict):
+            problems.append(f"{where}: attrs must be an object")
+        else:
+            for key, value in attrs.items():
+                if isinstance(value, list):
+                    # Flat scalar lists are fine (e.g. a kernel's shape).
+                    if all(isinstance(v, _SCALAR) for v in value):
+                        continue
+                    problems.append(
+                        f"{where}: attr {key!r} list must hold only scalars"
+                    )
+                elif not isinstance(value, _SCALAR):
+                    problems.append(
+                        f"{where}: attr {key!r} must be a JSON scalar, "
+                        f"got {type(value).__name__}"
+                    )
+        if kind == "span":
+            start, end = row.get("start"), row.get("end")
+            if not isinstance(start, (int, float)) or not isinstance(
+                end, (int, float)
+            ):
+                problems.append(f"{where}: span needs numeric start/end")
+                continue
+            if end < start:
+                problems.append(f"{where}: span ends ({end}) before it starts ({start})")
+            dur = row.get("dur")
+            if isinstance(dur, (int, float)) and abs(dur - (end - start)) > 1e-9:
+                problems.append(f"{where}: dur {dur} != end - start")
+            sid = row.get("span_id")
+            if not isinstance(sid, int):
+                problems.append(f"{where}: span needs an integer span_id")
+            elif sid in span_ids:
+                problems.append(f"{where}: duplicate span_id {sid}")
+            else:
+                span_ids.add(sid)
+            key = float(start)
+            # Wavefront spans are post-hoc interval annotations over the
+            # dispatch timeline; under barrier-free dependency dispatch
+            # consecutive wavefronts overlap by design, so they are not
+            # part of any lane's call stack and skip the nesting check.
+            if not str(row.get("name", "")).startswith("wavefront["):
+                lanes.setdefault((row["pid"], row["tid"]), []).append(
+                    (float(start), float(end), i)
+                )
+        else:
+            ts = row.get("ts")
+            if not isinstance(ts, (int, float)):
+                problems.append(f"{where}: instant needs a numeric ts")
+                continue
+            key = float(ts)
+        parent = row.get("parent_id")
+        if parent is not None:
+            if not isinstance(parent, int):
+                problems.append(f"{where}: parent_id must be an integer or null")
+            else:
+                parent_refs.append((i, parent))
+        if prev_key is not None and key < prev_key:
+            problems.append(f"{where}: rows not sorted by start time")
+        prev_key = key
+    for i, parent in parent_refs:
+        if parent not in span_ids:
+            problems.append(f"row {i}: parent_id {parent} matches no span in file")
+    for lane, entries in sorted(lanes.items()):
+        # Proper nesting via a sweep: each span must close inside its
+        # enclosing span; a start before the enclosing end with an end
+        # after it is a partial overlap.
+        stack: list[tuple[float, float, int]] = []
+        # Sort longest-first at equal starts so the enclosing span is on
+        # the stack before the spans it contains.
+        for start, end, i in sorted(entries, key=lambda e: (e[0], -e[1], e[2])):
+            while stack and stack[-1][1] <= start:
+                stack.pop()
+            if stack and end > stack[-1][1]:
+                problems.append(
+                    f"row {i}: span partially overlaps row {stack[-1][2]} "
+                    f"in lane {lane}"
+                )
+            stack.append((start, end, i))
+    return problems
+
+
+def spans_jsonl_stats(rows: list[dict]) -> dict:
+    """Lane count, span count and maximum nesting depth of a valid spans log."""
+    span_rows = [r for r in rows if r.get("type") == "span"]
+    lanes = {
+        (r.get("pid"), r.get("tid"))
+        for r in rows
+        if r.get("type") in ("span", "instant")
+    }
+    parents = {
+        r["span_id"]: r.get("parent_id")
+        for r in span_rows
+        if isinstance(r.get("span_id"), int)
+    }
+    max_depth = 0
+    for sid in parents:
+        depth, cur, seen = 1, parents.get(sid), {sid}
+        while isinstance(cur, int) and cur in parents and cur not in seen:
+            seen.add(cur)
+            depth += 1
+            cur = parents.get(cur)
+        max_depth = max(max_depth, depth)
+    return {"lanes": len(lanes), "spans": len(span_rows), "max_depth": max_depth}
+
+
+def _read_jsonl_rows(path: Path) -> list[object]:
+    rows: list[object] = []
+    with path.open() as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                rows.append(json.loads(line))
+    return rows
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs.validate",
-        description="Validate a Chrome trace-event JSON file",
+        description="Validate an exported trace (Chrome JSON or spans JSONL)",
     )
-    parser.add_argument("trace", help="path to the trace JSON")
+    parser.add_argument(
+        "trace", help="path to the trace file (.jsonl = spans log)"
+    )
     parser.add_argument(
         "--require-depth",
         type=int,
@@ -124,22 +283,31 @@ def main(argv: list[str] | None = None) -> int:
         help="fail unless a span with this name prefix exists (repeatable)",
     )
     args = parser.parse_args(argv)
+    path = Path(args.trace)
+    is_jsonl = path.suffix == ".jsonl"
     try:
-        doc = json.loads(Path(args.trace).read_text())
+        if is_jsonl:
+            rows = _read_jsonl_rows(path)
+        else:
+            doc = json.loads(path.read_text())
     except (OSError, json.JSONDecodeError) as exc:
         print(f"unreadable trace {args.trace}: {exc}", file=sys.stderr)
         return 1
-    problems = validate_chrome_trace(doc)
+    problems = validate_spans_jsonl(rows) if is_jsonl else validate_chrome_trace(doc)
     for problem in problems:
         print(f"INVALID {problem}", file=sys.stderr)
     if problems:
         return 1
-    stats = trace_stats(doc)
-    names = {
-        ev.get("name", "")
-        for ev in doc["traceEvents"]
-        if ev.get("ph") == "B"
-    }
+    if is_jsonl:
+        stats = spans_jsonl_stats(rows)
+        names = {r["name"] for r in rows if r.get("type") == "span"}
+    else:
+        stats = trace_stats(doc)
+        names = {
+            ev.get("name", "")
+            for ev in doc["traceEvents"]
+            if ev.get("ph") == "B"
+        }
     for expected in args.expect_name:
         if not any(name.startswith(expected) for name in names):
             print(f"INVALID no span named {expected!r} in trace", file=sys.stderr)

@@ -68,6 +68,7 @@ class _NodeTask:
     prior_handle: EstimateHandle | None = None
     trace: bool = False
     collect_metrics: bool = False
+    parent_nid: int = -1
 
 
 def _run_node_task(
@@ -103,6 +104,9 @@ def _run_node_task(
             nid=task.nid,
             n_constraints=len(task.constraints),
             batch_size=task.batch_size,
+            state_dim=int(estimate.mean.shape[0]),
+            rows=sum(c.dimension for c in task.constraints),
+            parent_nid=task.parent_nid,
         ), recording(rec), rec.tagged(task.nid), timer:
             if task.constraints:
                 batches = make_batches(task.constraints, task.batch_size)
@@ -543,4 +547,5 @@ class ParallelHierarchicalSolver:
             prior_handle=handle,
             trace=obs.current_tracer() is not None,
             collect_metrics=obs.current_metrics() is not None,
+            parent_nid=-1 if node.parent is None else node.parent.nid,
         )

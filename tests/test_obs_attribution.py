@@ -16,13 +16,24 @@ import pytest
 from repro import obs
 from repro.core.hier_solver import HierarchicalSolver
 from repro.core.hierarchy import assign_constraints
+from repro.faults import FaultConfig, FaultInjector, fault_injection
 from repro.linalg.counters import recording
+from repro.obs.tracer import Tracer
 from repro.parallel import (
     ParallelHierarchicalSolver,
     ProcessExecutor,
     SerialExecutor,
     ThreadExecutor,
 )
+from repro.util.timer import WallClock
+
+
+class FakeClock(WallClock):
+    def __init__(self, t=0.0):
+        self.t = t
+
+    def now(self):
+        return self.t
 
 EXECUTORS = {
     "serial": SerialExecutor,
@@ -137,3 +148,101 @@ class TestSpanAttribution:
         assert len(pids) >= 2
         doc = {"traceEvents": obs.chrome_trace_events(tracer)}
         assert obs.validate_chrome_trace(doc) == []
+
+
+class TestTracerMergeEdgeCases:
+    """Cross-process merge corners: zero-span workers, clock skew, rebuilds."""
+
+    def _worker_tracer(self, epoch_skew=0.0, clock_t=0.0):
+        tr = Tracer(clock=FakeClock(clock_t))
+        tr.epoch += epoch_skew  # simulate a worker whose clock domain differs
+        return tr
+
+    def test_fully_empty_payload_is_a_noop(self):
+        parent = Tracer(clock=FakeClock())
+        with parent.span("dispatch"):
+            pass
+        before = list(parent.spans)
+        parent.merge(None, parent_id=before[0].span_id)
+        parent.merge(
+            {"epoch": parent.epoch + 1e6, "spans": [], "instants": []},
+            parent_id=before[0].span_id,
+        )
+        assert parent.spans == before
+        assert parent.instants == []
+
+    def test_zero_span_worker_still_ships_instants(self):
+        """A worker whose task recorded no spans (e.g. an injected fault
+        before any node work) still gets its instants onto the timeline."""
+        parent = Tracer(clock=FakeClock())
+        with parent.span("dispatch") as dispatch:
+            pass
+        worker = self._worker_tracer(epoch_skew=100.0, clock_t=2.0)
+        worker.instant("fault.crash", cat="fault", nid=3)
+        parent.merge(worker.payload(), parent_id=dispatch.span_id)
+        assert parent.spans == [dispatch]  # no phantom spans appear
+        (ev,) = parent.instants
+        assert ev.name == "fault.crash"
+        assert ev.parent_id == dispatch.span_id  # orphan re-parented
+        # epochs align wall time: the instant was recorded at the worker's
+        # construction instant (~ the parent's 0.0), shifted by the skew
+        assert ev.ts == pytest.approx(100.0, abs=0.05)
+
+    def test_epoch_rebase_under_clock_skew(self):
+        """Worker timestamps land on the parent timeline even when the two
+        monotonic clock domains are wildly offset (fresh process epochs)."""
+        parent = Tracer(clock=FakeClock(5.0))
+        with parent.span("dispatch") as dispatch:
+            parent.clock.t = 6.0
+        skew = -1234.5
+        worker = self._worker_tracer(epoch_skew=skew, clock_t=1000.0)
+        with worker.span("node[7]", nid=7):
+            worker.clock.t = 1000.25
+        parent.merge(worker.payload(), parent_id=dispatch.span_id)
+        merged = next(sp for sp in parent.spans if sp.name == "node[7]")
+        # the span opened at the worker's construction instant, which is
+        # the parent's clock reading 5.0 in wall terms, plus the skew
+        assert merged.start == pytest.approx(5.0 + skew, abs=0.05)
+        assert merged.end == pytest.approx(5.25 + skew, abs=0.05)
+        assert merged.duration == pytest.approx(0.25)  # durations survive
+
+    def test_merge_remaps_ids_and_preserves_internal_links(self):
+        parent = Tracer(clock=FakeClock())
+        with parent.span("dispatch") as dispatch:
+            pass
+        worker = self._worker_tracer()
+        with worker.span("node[1]", nid=1):
+            worker.clock.t = 1.0
+            with worker.span("batch"):
+                worker.clock.t = 2.0
+        parent.merge(worker.payload(), parent_id=dispatch.span_id)
+        by_name = {sp.name: sp for sp in parent.spans}
+        assert len({sp.span_id for sp in parent.spans}) == len(parent.spans)
+        # the worker's root hangs under the dispatch span; internal
+        # parent links follow the id remap
+        assert by_name["node[1]"].parent_id == dispatch.span_id
+        assert by_name["batch"].parent_id == by_name["node[1]"].span_id
+
+    def test_attribution_survives_process_pool_rebuild(self, assigned_problem):
+        """kill-mode faults hard-exit workers mid-cycle; the executor
+        rebuilds the pool and resubmits, and the retried node solves must
+        still come back attributed and correctly re-parented."""
+        hierarchy, estimate = assigned_problem
+        tracer = obs.Tracer()
+        inj = FaultInjector(FaultConfig(crash_p=1.0, seed=0, crash_mode="kill"))
+        with ProcessExecutor(2) as ex, fault_injection(inj), obs.tracing(tracer):
+            ParallelHierarchicalSolver(
+                hierarchy, batch_size=4, executor=ex
+            ).run_cycle(estimate)
+        assert inj.injected["crash"] > 0  # workers really died
+        node_spans = [sp for sp in tracer.spans if sp.name.startswith("node[")]
+        assert {sp.attrs["nid"] for sp in node_spans} == {
+            n.nid for n in hierarchy.nodes
+        }
+        for sp in node_spans:
+            chain = [s.name for s in tracer.ancestry(sp)]
+            assert chain and chain[-1] == "cycle"
+        # the rebuilt pool's spans still analyze: one pass, full DAG
+        report = obs.doctor_report(tracer, hierarchy=hierarchy)
+        assert len(report["passes"]) == 1
+        assert len(report["dag"]["edges"]) == len(list(hierarchy.nodes))
