@@ -17,7 +17,12 @@ Usage::
     python -m repro obs doctor trace.jsonl --problem helix8.npz
     python -m repro obs critical-path trace.jsonl
     python -m repro obs regress --out regress.json
+    python -m repro fuzz --seed 0 --budget 50 --backends thread
+    python -m repro fuzz --seed 17 --budget 1 --minimize
 
+``fuzz`` sweeps seeded random scenarios through the conformance harness
+(:mod:`repro.scenarios`) and reports every invariant violation with a
+reproducing seed (``--minimize`` shrinks the spec first);
 ``solve`` writes the posterior estimate (plus, with ``--out``, a
 ``<out>.summary.json`` sidecar with convergence and robustness stats);
 ``--trace``/``--metrics-out``/``--obs-summary`` export the
@@ -88,6 +93,18 @@ def _parse_anneal(text: str | None) -> tuple[float, float] | None:
     return start, decay
 
 
+def _parse_batch_anneal(text: str | None):
+    """``start,decay[,floor]`` → :class:`~repro.core.update.AnnealSchedule`."""
+    if not text:
+        return None
+    from repro.core.update import AnnealSchedule
+
+    try:
+        return AnnealSchedule.parse(text)
+    except ValueError as exc:  # covers DimensionError and bad floats
+        raise SystemExit(f"--batch-anneal: {exc}") from exc
+
+
 def _make_executor(backend: str, workers: int):
     """Backend flag → executor (``None`` = the serial post-order solver)."""
     if backend == "serial":
@@ -138,6 +155,7 @@ def _cmd_session_solve(args: argparse.Namespace, problem) -> int:
                 local_iterations=args.local_iterations,
                 max_retries=args.max_retries,
                 kernel_impl=args.kernel_impl,
+                schedule=_parse_batch_anneal(args.batch_anneal),
             ),
             executor=executor,
             store=args.session_dir,
@@ -226,6 +244,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
             local_iterations=args.local_iterations,
             max_retries=args.max_retries,
             kernel_impl=args.kernel_impl,
+            schedule=_parse_batch_anneal(args.batch_anneal),
         ),
         checkpoint_dir=args.checkpoint_dir,
     )
@@ -443,6 +462,148 @@ def _cmd_obs_regress(args: argparse.Namespace) -> int:
     return 0 if report["ok"] else 1
 
 
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    """Sweep seeded scenarios through the conformance harness."""
+    import json
+    import time
+
+    from repro.scenarios import (
+        ALL_CHECKS,
+        build_scenario,
+        generate_scenario,
+        minimize_spec,
+        run_scenario,
+    )
+    from repro.scenarios.generator import ScenarioSpec
+
+    if args.checks == "all":
+        checks = ALL_CHECKS
+    else:
+        checks = tuple(c.strip() for c in args.checks.split(",") if c.strip())
+        unknown = [c for c in checks if c not in ALL_CHECKS]
+        if unknown:
+            raise SystemExit(
+                f"--checks: unknown {', '.join(unknown)} "
+                f"(choose from {', '.join(ALL_CHECKS)})"
+            )
+    executors: dict = {}
+    for backend in (b.strip() for b in args.backends.split(",") if b.strip()):
+        if backend == "serial":
+            continue  # serial is the reference every run already includes
+        if backend not in ("thread", "process"):
+            raise SystemExit(f"--backends: unknown backend {backend!r}")
+        executors[backend] = _make_executor(backend, args.workers)
+    deadline = (
+        time.monotonic() + args.time_budget if args.time_budget else None
+    )
+    reports = []
+    failing = []
+    ran = 0
+    try:
+        for seed in range(args.seed, args.seed + args.budget):
+            if deadline is not None and time.monotonic() >= deadline:
+                print(
+                    f"time budget exhausted after {ran}/{args.budget} scenarios"
+                )
+                break
+            scenario = generate_scenario(seed)
+            report = run_scenario(scenario, checks=checks, executors=executors)
+            ran += 1
+            reports.append(report)
+            spec = scenario.spec
+            status = "ok  " if report.ok else "FAIL"
+            elapsed = sum(r.seconds for r in report.results)
+            print(
+                f"{status} seed={seed} {spec.topology}/{spec.n_atoms} atoms "
+                f"noise={spec.noise} batch={spec.batch_size}"
+                f"{' anneal' if spec.anneal else ''}"
+                f"{' faults' if spec.faults else ''}"
+                f"{' leaf-only' if spec.leaf_only else ''} "
+                f"({elapsed:.2f}s)"
+            )
+            for r in report.failures:
+                print(f"     {r.name}: {r.detail}")
+            if not report.ok:
+                failing.append(report)
+        artifacts = []
+        for report in failing:
+            entry = {
+                "seed": report.seed,
+                "failed_checks": [r.name for r in report.failures],
+                "spec": report.spec,
+                "repro": f"python -m repro fuzz --seed {report.seed} --budget 1",
+            }
+            if args.minimize:
+                failed_names = tuple(r.name for r in report.failures)
+
+                def still_fails(sc) -> bool:
+                    return not run_scenario(
+                        sc, checks=failed_names, executors=executors
+                    ).ok
+
+                minimized = minimize_spec(
+                    ScenarioSpec.from_dict(report.spec), still_fails
+                )
+                entry["minimized_spec"] = minimized.to_dict()
+                print(
+                    f"minimized seed {report.seed}: "
+                    f"{minimized.topology}/{minimized.n_atoms} atoms, "
+                    f"{minimized.n_constraints} constraints, "
+                    f"kinds={','.join(minimized.kinds)}"
+                )
+                # Confirm the shrunken spec still reproduces standalone.
+                if not still_fails(build_scenario(minimized)):
+                    print("  (warning: minimized spec no longer fails; "
+                          "keeping the original)")
+                    entry.pop("minimized_spec")
+            artifacts.append(entry)
+    finally:
+        for executor in executors.values():
+            executor.close()
+    # Streaming metrics roll-up over the sweep (reported, not asserted).
+    stream = [
+        r.metrics
+        for rep in reports
+        for r in rep.results
+        if r.name == "streaming" and r.metrics
+    ]
+    if stream:
+        import numpy as _np
+
+        improved = sum(
+            1 for m in stream if m["rmsd_final"] <= m["rmsd_initial"]
+        )
+        print(
+            f"streaming: {improved}/{len(stream)} scenarios improved RMSD; "
+            f"median incremental throughput "
+            f"{float(_np.median([m['rows_per_second'] for m in stream])):.0f} rows/s"
+        )
+    print(
+        f"{ran} scenarios, {len(checks)} checks each: "
+        f"{ran - len(failing)} passed, {len(failing)} failed"
+    )
+    if args.fail_artifact and failing:
+        with open(args.fail_artifact, "w", encoding="utf-8") as fh:
+            json.dump({"failures": artifacts}, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote failing-seed artifact to {args.fail_artifact}")
+    if args.out:
+        doc = {
+            "seed": args.seed,
+            "budget": args.budget,
+            "ran": ran,
+            "checks": list(checks),
+            "backends": sorted(executors) + ["serial"],
+            "ok": not failing,
+            "scenarios": [r.to_dict() for r in reports],
+        }
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote report to {args.out}")
+    return 1 if failing else 0
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro import io as rio
     from repro.core.hier_solver import HierarchicalSolver
@@ -506,6 +667,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="update kernels: symmetric BLAS fast path or the pre-optimization reference",
     )
     solve.add_argument("--anneal", default=None, help="start,decay (e.g. 100,0.5)")
+    solve.add_argument(
+        "--batch-anneal",
+        default=None,
+        metavar="START,DECAY[,FLOOR]",
+        help="per-batch annealing schedule (cycle-invariant, so unlike "
+        "--anneal it composes with --session-dir warm re-solves)",
+    )
     solve.add_argument("--seed", type=int, default=0)
     solve.add_argument("--out", default=None)
     solve.add_argument(
@@ -599,6 +767,55 @@ def build_parser() -> argparse.ArgumentParser:
     resolve.add_argument("--workers", type=int, default=4)
     resolve.add_argument("--out", default=None)
     resolve.set_defaults(fn=_cmd_resolve)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="sweep seeded random scenarios through the conformance harness",
+    )
+    fuzz.add_argument(
+        "--seed", type=int, default=0, help="first scenario seed of the sweep"
+    )
+    fuzz.add_argument(
+        "--budget",
+        type=int,
+        default=25,
+        help="number of consecutive seeds to run",
+    )
+    fuzz.add_argument(
+        "--backends",
+        default="serial",
+        help="comma list of backends for the bit-identity check "
+        "(serial, thread, process); serial is always the reference",
+    )
+    fuzz.add_argument("--workers", type=int, default=4)
+    fuzz.add_argument(
+        "--checks",
+        default="all",
+        help="comma list of invariants to run (default: all); see "
+        "docs/testing.md for the catalogue",
+    )
+    fuzz.add_argument(
+        "--minimize",
+        action="store_true",
+        help="greedily shrink each failing seed's spec before reporting",
+    )
+    fuzz.add_argument(
+        "--time-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="stop starting new scenarios after this many seconds",
+    )
+    fuzz.add_argument(
+        "--fail-artifact",
+        default=None,
+        metavar="PATH",
+        help="write failing seeds + specs (+ minimized specs) as JSON",
+    )
+    fuzz.add_argument(
+        "--out", default=None, help="write the full sweep report as JSON"
+    )
+    fuzz.set_defaults(fn=_cmd_fuzz)
 
     sim = sub.add_parser("simulate", help="price a cycle on a modeled machine")
     sim.add_argument("problem")

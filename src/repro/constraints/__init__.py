@@ -15,7 +15,15 @@ from repro.constraints.angle import AngleConstraint
 from repro.constraints.torsion import TorsionConstraint
 from repro.constraints.position import PositionConstraint
 from repro.constraints.batch import ConstraintBatch, assemble_batch, make_batches
-from repro.constraints.noise import DiagonalNoise, sample_measurement_noise
+from repro.constraints.noise import (
+    NOISE_MODELS,
+    DiagonalNoise,
+    GaussianNoise,
+    MixtureNoise,
+    StudentTNoise,
+    make_noise_model,
+    sample_measurement_noise,
+)
 from repro.constraints import library
 
 __all__ = [
@@ -25,11 +33,16 @@ __all__ = [
     "DiagonalNoise",
     "DistanceBoundConstraint",
     "DistanceConstraint",
+    "GaussianNoise",
     "LinearConstraint",
+    "MixtureNoise",
+    "NOISE_MODELS",
     "PositionConstraint",
+    "StudentTNoise",
     "TorsionConstraint",
     "assemble_batch",
     "library",
     "make_batches",
+    "make_noise_model",
     "sample_measurement_noise",
 ]

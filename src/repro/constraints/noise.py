@@ -1,10 +1,28 @@
-"""Gaussian measurement-noise models.
+"""Measurement-noise models: Gaussian and the non-Gaussian extensions.
 
 The estimator assumes additive zero-mean Gaussian noise ``v ~ N(0, R)``
 per observation vector.  All the paper's data enter with per-measurement
 (diagonal) variances; :class:`DiagonalNoise` captures the precision of a
 measurement technology and can generate synthetic noisy readings for the
 workload generators.
+
+The follow-on work (*Probabilistic Constraint Satisfaction with
+Non-Gaussian Noise*) studies exactly this estimator when the data are
+*not* Gaussian: a fraction of readings are outliers drawn from a much
+wider component, or the whole error distribution is heavy-tailed.  The
+pluggable models here reproduce those observation processes for the
+scenario generator — each one draws synthetic readings from its true
+distribution while reporting only the *nominal* Gaussian variance the
+estimator is allowed to assume, so fuzzed scenarios exercise the
+model-mismatch regime the paper analyzes:
+
+* :class:`GaussianNoise` — the baseline, matched model;
+* :class:`MixtureNoise` — contaminated Gaussian: with probability
+  ``outlier_prob`` a reading's sigma is inflated by ``outlier_scale``;
+* :class:`StudentTNoise` — heavy-tailed Student-t errors scaled to
+  sigma (requires ``dof > 2`` so that scale is defined).
+
+:func:`make_noise_model` builds any of them from a CLI-style name.
 """
 
 from __future__ import annotations
@@ -48,3 +66,118 @@ def sample_measurement_noise(variances: np.ndarray, rng=None) -> np.ndarray:
     if np.any(variances <= 0):
         raise ConstraintError("variances must be strictly positive")
     return make_rng(rng).normal(0.0, np.sqrt(variances))
+
+
+# --------------------------------------------------------- pluggable models
+@dataclass(frozen=True)
+class GaussianNoise:
+    """Matched-model baseline: readings really are ``N(true, sigma²)``."""
+
+    sigma: float
+    name = "gaussian"
+
+    def __post_init__(self) -> None:
+        if self.sigma <= 0:
+            raise ConstraintError("noise sigma must be positive")
+
+    @property
+    def nominal_variance(self) -> float:
+        """The per-row variance the estimator is told to assume."""
+        return self.sigma * self.sigma
+
+    def perturb(self, true_value: float, rng=None) -> float:
+        return float(true_value + make_rng(rng).normal(0.0, self.sigma))
+
+
+@dataclass(frozen=True)
+class MixtureNoise:
+    """Contaminated Gaussian: occasional wide-component outlier readings.
+
+    With probability ``outlier_prob`` a reading's standard deviation is
+    ``outlier_scale · sigma`` instead of ``sigma``.  The estimator still
+    assumes the nominal ``sigma²`` for every row, which is the
+    model-mismatch regime of the Non-Gaussian Noise follow-on: a few
+    badly wrong measurements pulling against many good ones.
+    """
+
+    sigma: float
+    outlier_prob: float = 0.1
+    outlier_scale: float = 10.0
+    name = "mixture"
+
+    def __post_init__(self) -> None:
+        if self.sigma <= 0:
+            raise ConstraintError("noise sigma must be positive")
+        if not 0.0 <= self.outlier_prob <= 1.0:
+            raise ConstraintError("outlier_prob must be in [0, 1]")
+        if self.outlier_scale < 1.0:
+            raise ConstraintError("outlier_scale must be >= 1")
+
+    @property
+    def nominal_variance(self) -> float:
+        return self.sigma * self.sigma
+
+    @property
+    def true_variance(self) -> float:
+        """Actual second moment of the mixture (> nominal when contaminated)."""
+        wide = self.outlier_scale * self.sigma
+        return (
+            (1.0 - self.outlier_prob) * self.sigma**2
+            + self.outlier_prob * wide**2
+        )
+
+    def perturb(self, true_value: float, rng=None) -> float:
+        r = make_rng(rng)
+        sigma = (
+            self.outlier_scale * self.sigma
+            if r.random() < self.outlier_prob
+            else self.sigma
+        )
+        return float(true_value + r.normal(0.0, sigma))
+
+
+@dataclass(frozen=True)
+class StudentTNoise:
+    """Heavy-tailed Student-t errors scaled so readings have std ``sigma``.
+
+    ``dof`` must exceed 2 for the variance to exist; the draw is scaled
+    by ``sigma · sqrt((dof−2)/dof)`` so the reading's true standard
+    deviation equals the nominal ``sigma`` while the tails stay heavy.
+    """
+
+    sigma: float
+    dof: float = 3.0
+    name = "student_t"
+
+    def __post_init__(self) -> None:
+        if self.sigma <= 0:
+            raise ConstraintError("noise sigma must be positive")
+        if self.dof <= 2:
+            raise ConstraintError("student-t dof must exceed 2")
+
+    @property
+    def nominal_variance(self) -> float:
+        return self.sigma * self.sigma
+
+    def perturb(self, true_value: float, rng=None) -> float:
+        scale = self.sigma * np.sqrt((self.dof - 2.0) / self.dof)
+        return float(true_value + scale * make_rng(rng).standard_t(self.dof))
+
+
+#: CLI-addressable model names → constructors (sigma-first signature).
+NOISE_MODELS = {
+    "gaussian": GaussianNoise,
+    "mixture": MixtureNoise,
+    "student_t": StudentTNoise,
+}
+
+
+def make_noise_model(name: str, sigma: float, **kwargs):
+    """Build a noise model from its registry name (``repro fuzz --noise``)."""
+    try:
+        cls = NOISE_MODELS[name]
+    except KeyError:
+        raise ConstraintError(
+            f"unknown noise model {name!r}; choices are {sorted(NOISE_MODELS)}"
+        ) from None
+    return cls(sigma, **kwargs)

@@ -15,7 +15,7 @@
 """
 
 from repro.core.state import StructureEstimate
-from repro.core.update import UpdateOptions, apply_batch
+from repro.core.update import AnnealSchedule, UpdateOptions, apply_batch
 from repro.core.combine import combine_estimates
 from repro.core.flat import FlatSolver
 from repro.core.hierarchy import Hierarchy, HierarchyNode, assign_constraints
@@ -33,6 +33,7 @@ from repro.core.diagnostics import ResidualReport, residual_report
 from repro.core.session import SessionResolveResult, SolveSession
 
 __all__ = [
+    "AnnealSchedule",
     "ConvergenceReport",
     "FlatSolver",
     "Hierarchy",

@@ -89,10 +89,11 @@ class FlatSolver:
             with timer:
                 current = estimate
                 with rec.tagged("flat"):
-                    for batch in self.batches:
+                    for step, batch in enumerate(self.batches):
                         try:
                             current = apply_batch(
-                                current, batch, None, opts, retry_log=retries
+                                current, batch, None, opts, retry_log=retries,
+                                step=step,
                             )
                         except BatchUpdateError as exc:
                             obs.instant(

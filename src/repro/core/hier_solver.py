@@ -350,9 +350,11 @@ class HierarchicalSolver:
             return local, 0
         batches = make_batches(node.constraints, self.batch_size)
         cmap = node.column_map(self.hierarchy.n_atoms)
-        for batch in batches:
+        for step, batch in enumerate(batches):
             try:
-                local = apply_batch(local, batch, cmap, opts, retry_log=retries)
+                local = apply_batch(
+                    local, batch, cmap, opts, retry_log=retries, step=step
+                )
             except BatchUpdateError as exc:
                 obs.instant(
                     "batch.quarantined",

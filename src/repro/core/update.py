@@ -62,6 +62,59 @@ KERNEL_IMPLS = ("fast", "reference")
 
 
 @dataclass(frozen=True)
+class AnnealSchedule:
+    """Per-batch geometric variance-inflation schedule.
+
+    The *Borrowing from Simulated Annealing* follow-on applies the
+    paper's estimator with a temperature schedule over constraint
+    application rather than over whole cycles: the first batches a node
+    sees run with softened (inflated-variance) constraints, later ones
+    tighten geometrically.  Batch ``k`` (0-based, counted per solver
+    unit: per tree node in the hierarchical solvers, per cycle in the
+    flat solver) runs at noise scale ``max(floor, start · decay^k)``.
+
+    Counting per node keeps the schedule a pure function of
+    ``(node, batch index)``: identical on every backend (bit-identity
+    preserved) and identical between a warm dirty-path re-solve and a
+    cold solve of the edited problem (warm ≡ cold preserved), unlike the
+    per-cycle schedule of :func:`repro.core.convergence.annealing_schedule`,
+    which sessions must reject.
+    """
+
+    start: float = 1.0
+    decay: float = 1.0
+    floor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.start < 1.0:
+            raise DimensionError("anneal schedule start must be >= 1")
+        if not 0.0 < self.decay <= 1.0:
+            raise DimensionError("anneal schedule decay must be in (0, 1]")
+        if self.floor < 1.0 or self.floor > self.start:
+            raise DimensionError(
+                "anneal schedule floor must satisfy 1 <= floor <= start"
+            )
+
+    def scale(self, step: int) -> float:
+        """Noise scale for batch ``step`` (0-based)."""
+        if step < 0:
+            raise DimensionError("schedule step must be >= 0")
+        return max(self.floor, self.start * self.decay**step)
+
+    @staticmethod
+    def parse(text: str) -> "AnnealSchedule":
+        """``"start,decay[,floor]"`` → a schedule (CLI ``--batch-anneal``)."""
+        parts = [float(v) for v in text.split(",")]
+        if len(parts) == 2:
+            return AnnealSchedule(parts[0], parts[1])
+        if len(parts) == 3:
+            return AnnealSchedule(parts[0], parts[1], parts[2])
+        raise DimensionError(
+            f"batch-anneal expects 'start,decay[,floor]', got {text!r}"
+        )
+
+
+@dataclass(frozen=True)
 class UpdateOptions:
     """Tuning knobs for one batch update.
 
@@ -102,6 +155,11 @@ class UpdateOptions:
         original out-of-place kernels and reproduces pre-optimization
         results bitwise.  Both paths agree to high precision (property
         tested at rtol 1e-10).
+    schedule:
+        Optional :class:`AnnealSchedule` applied per batch on top of
+        ``noise_scale``: batch ``step`` runs at
+        ``noise_scale · schedule.scale(step)``.  ``None`` (default)
+        leaves every batch at ``noise_scale``.
     """
 
     joseph: bool = False
@@ -111,6 +169,7 @@ class UpdateOptions:
     jitter_growth: float = 10.0
     noise_scale: float = 1.0
     kernel_impl: str = "fast"
+    schedule: AnnealSchedule | None = None
 
 
 def apply_batch(
@@ -119,6 +178,7 @@ def apply_batch(
     atom_to_column: np.ndarray | None = None,
     options: UpdateOptions = UpdateOptions(),
     retry_log: list[RetryReport] | None = None,
+    step: int = 0,
 ) -> StructureEstimate:
     """Apply one constraint batch to ``estimate`` and return the posterior.
 
@@ -127,7 +187,10 @@ def apply_batch(
     the flat solver (global state) and every node of the hierarchy (local
     state).  The input estimate is not modified.  ``retry_log``, if given,
     collects a :class:`~repro.faults.RetryReport` for every attempt
-    sequence that needed at least one retry.
+    sequence that needed at least one retry.  ``step`` is this batch's
+    0-based index within its solver unit, consumed by
+    :attr:`UpdateOptions.schedule` to anneal the measurement variances
+    over constraint application.
     """
     if options.local_iterations < 1:
         raise DimensionError("local_iterations must be >= 1")
@@ -137,6 +200,9 @@ def apply_batch(
         raise DimensionError(
             f"kernel_impl must be one of {KERNEL_IMPLS}, got {options.kernel_impl!r}"
         )
+    noise_scale = options.noise_scale
+    if options.schedule is not None:
+        noise_scale = noise_scale * options.schedule.scale(step)
     x = estimate.mean
     c = estimate.covariance
     n = x.shape[0]
@@ -155,8 +221,8 @@ def apply_batch(
             z, h, big_h, r = assemble_batch(
                 batch, coords_owner.coords, atom_to_column, n_columns=n
             )
-            if options.noise_scale != 1.0:
-                r = r * options.noise_scale
+            if noise_scale != 1.0:
+                r = r * noise_scale
             x, c = _update_with_retry(
                 x, c, z, h, big_h, r, n, options, injector, retry_log
             )

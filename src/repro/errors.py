@@ -118,3 +118,7 @@ class TraceAnalysisError(ReproError, RuntimeError):
     ``parent_nid`` attribute when no hierarchy was supplied to rebuild
     the dependency DAG.
     """
+
+
+class ScenarioError(ReproError, ValueError):
+    """A fuzz scenario spec is invalid or cannot be materialized."""

@@ -111,9 +111,9 @@ def _run_node_task(
             if task.constraints:
                 batches = make_batches(task.constraints, task.batch_size)
                 n_batches = len(batches)
-                for batch in batches:
+                for step, batch in enumerate(batches):
                     estimate = apply_batch(
-                        estimate, batch, task.column_map, task.options
+                        estimate, batch, task.column_map, task.options, step=step
                     )
     payload: dict | None = None
     if tracer is not None or registry is not None:

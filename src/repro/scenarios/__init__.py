@@ -1,0 +1,61 @@
+"""Scenario fuzzing and property-based conformance checking.
+
+``generator`` turns one integer seed into a complete solver workload
+(topology, constraints, noise model, annealing schedule, fault profile,
+edit script, streaming arrival plan); ``invariants`` runs the catalogue
+of cross-cutting conformance checks on it; ``streaming`` drives the
+NMR-style arrival scenario; ``minimize`` shrinks failing seeds into
+regression-test-sized specs.  The ``repro fuzz`` CLI subcommand and
+``tests/test_scenarios_properties.py`` are the two front ends.
+"""
+
+from repro.scenarios.generator import (
+    CONSTRAINT_KINDS,
+    NOISE_NAMES,
+    TOPOLOGIES,
+    EditOp,
+    Scenario,
+    ScenarioSpec,
+    apply_edit_script,
+    build_scenario,
+    generate_scenario,
+    generate_scenarios,
+    make_constraints,
+    make_hierarchy,
+    spec_from_seed,
+)
+from repro.scenarios.invariants import (
+    ALL_CHECKS,
+    CHECK_FUNCTIONS,
+    CheckResult,
+    ScenarioReport,
+    run_scenario,
+)
+from repro.scenarios.minimize import minimize_spec, shrink_candidates
+from repro.scenarios.streaming import ArrivalRecord, StreamingReport, run_streaming
+
+__all__ = [
+    "ALL_CHECKS",
+    "CHECK_FUNCTIONS",
+    "CONSTRAINT_KINDS",
+    "NOISE_NAMES",
+    "TOPOLOGIES",
+    "ArrivalRecord",
+    "CheckResult",
+    "EditOp",
+    "Scenario",
+    "ScenarioReport",
+    "ScenarioSpec",
+    "StreamingReport",
+    "apply_edit_script",
+    "build_scenario",
+    "generate_scenario",
+    "generate_scenarios",
+    "make_constraints",
+    "make_hierarchy",
+    "minimize_spec",
+    "run_scenario",
+    "run_streaming",
+    "shrink_candidates",
+    "spec_from_seed",
+]

@@ -1,0 +1,429 @@
+"""Seeded, deterministic molecule/constraint scenario generation.
+
+One integer seed determines one :class:`Scenario` completely: the tree
+topology (including the degenerate shapes hand-built workloads never
+exercise — single-node trees, unary chains, stars), the atom count and
+ground-truth coordinates, the constraint mix and order, the observation
+noise model (Gaussian, or the non-Gaussian mixtures of the follow-on
+papers), an optional per-batch annealing schedule, an optional fault
+profile, an edit script for incremental sessions, and a streaming
+arrival plan.  Running the same seed twice yields bit-identical inputs,
+which is what lets the conformance harness (:mod:`repro.scenarios.invariants`)
+turn every failure into a reproducible ``repro fuzz --seed N`` command.
+
+The generator emits *valid* problems by construction — every constraint
+references atoms covered by the hierarchy, targets respect the
+constraint classes' domain restrictions (positive distances, angles in
+``(0, π)``) — so any harness failure indicts the solver stack, not the
+input.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from repro.constraints import (
+    AngleConstraint,
+    DistanceConstraint,
+    LinearConstraint,
+    PositionConstraint,
+    TorsionConstraint,
+    make_noise_model,
+)
+from repro.constraints.base import Constraint
+from repro.constraints.torsion import dihedral
+from repro.core.hierarchy import Hierarchy, HierarchyNode
+from repro.core.update import AnnealSchedule, UpdateOptions
+from repro.errors import ScenarioError
+from repro.faults.injector import FaultConfig
+from repro.molecules.problem import StructureProblem
+
+#: Topology families the generator samples from.  ``flat`` (the root is
+#: the only node), ``chain`` (a unary spine: every internal node has one
+#: real split child and one pass-through), and ``star`` are the
+#: degenerate shapes the satellite bug-hunt targets.
+TOPOLOGIES = ("balanced", "random", "chain", "star", "flat", "unary")
+
+#: Constraint kinds a scenario may mix (generation order is preserved).
+CONSTRAINT_KINDS = ("distance", "angle", "torsion", "position", "linear")
+
+#: Noise models the sweep cycles through.
+NOISE_NAMES = ("gaussian", "mixture", "student_t")
+
+
+@dataclass(frozen=True)
+class EditOp:
+    """One step of a session edit script.
+
+    ``op`` is ``"add"``, ``"remove"`` or ``"update"``; ``index`` selects
+    the target constraint by *position in the live id list* for remove /
+    update (so scripts stay valid as ids shift), and ``payload_seed``
+    derives the replacement/new constraint deterministically.
+    """
+
+    op: str
+    index: int = 0
+    payload_seed: int = 0
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Everything needed to rebuild one scenario, as plain data."""
+
+    seed: int
+    topology: str
+    n_atoms: int
+    n_constraints: int
+    kinds: tuple[str, ...]
+    noise: str
+    noise_sigma: float
+    batch_size: int
+    prior_sigma: float
+    perturbation: float
+    anneal: tuple[float, float] | None
+    faults: str | None
+    n_edits: int
+    n_arrivals: int
+    leaf_only: bool = False
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @staticmethod
+    def from_dict(doc: dict) -> "ScenarioSpec":
+        doc = dict(doc)
+        doc["kinds"] = tuple(doc["kinds"])
+        if doc.get("anneal") is not None:
+            doc["anneal"] = tuple(doc["anneal"])
+        return ScenarioSpec(**doc)
+
+
+@dataclass
+class Scenario:
+    """A materialized spec: problem, options, edits and arrival plan.
+
+    ``problem.hierarchy`` is safe to hand to exactly one consumer (the
+    session layer takes ownership of constraint assignment); components
+    that need an independent tree call :meth:`fresh_hierarchy`.
+    """
+
+    spec: ScenarioSpec
+    problem: StructureProblem
+    options: UpdateOptions
+    fault_config: FaultConfig | None
+    edits: tuple[EditOp, ...]
+    arrivals: tuple[tuple[Constraint, ...], ...]
+
+    @property
+    def seed(self) -> int:
+        return self.spec.seed
+
+    @property
+    def name(self) -> str:
+        return self.problem.name
+
+    def fresh_hierarchy(self) -> Hierarchy:
+        """An independent, identically-shaped hierarchy instance."""
+        return make_hierarchy(self.spec)
+
+    def initial_estimate(self):
+        return self.problem.initial_estimate(self.spec.seed)
+
+
+# ------------------------------------------------------------- topologies
+def _split_range(rng, lo: int, hi: int, depth: int, max_depth: int) -> HierarchyNode:
+    size = hi - lo
+    if size <= 2 or depth >= max_depth or rng.random() < 0.25:
+        return HierarchyNode(atoms=np.arange(lo, hi, dtype=np.int64))
+    n_parts = int(rng.integers(2, min(3, size) + 1))
+    cuts = np.sort(
+        rng.choice(np.arange(lo + 1, hi), size=n_parts - 1, replace=False)
+    )
+    bounds = [lo, *[int(c) for c in cuts], hi]
+    children = [
+        _split_range(rng, a, b, depth + 1, max_depth)
+        for a, b in zip(bounds, bounds[1:])
+    ]
+    return HierarchyNode(
+        atoms=np.arange(lo, hi, dtype=np.int64), children=children
+    )
+
+
+def _balanced(lo: int, hi: int, depth: int) -> HierarchyNode:
+    size = hi - lo
+    if size <= 2 or depth <= 0:
+        return HierarchyNode(atoms=np.arange(lo, hi, dtype=np.int64))
+    mid = lo + size // 2
+    children = [_balanced(lo, mid, depth - 1), _balanced(mid, hi, depth - 1)]
+    return HierarchyNode(atoms=np.arange(lo, hi, dtype=np.int64), children=children)
+
+
+def make_hierarchy(spec: ScenarioSpec) -> Hierarchy:
+    """Build the spec's tree (pure function of the spec)."""
+    n = spec.n_atoms
+    if spec.topology == "flat":
+        root = HierarchyNode(atoms=np.arange(n, dtype=np.int64), name="root")
+    elif spec.topology == "balanced":
+        depth = max(1, int(math.log2(max(2, n // 3))))
+        root = _balanced(0, n, depth)
+    elif spec.topology == "star":
+        # One leaf per atom pair under a single root.
+        leaves = [
+            HierarchyNode(atoms=np.arange(lo, min(lo + 2, n), dtype=np.int64))
+            for lo in range(0, n, 2)
+        ]
+        root = HierarchyNode(
+            atoms=np.arange(n, dtype=np.int64), children=leaves, name="root"
+        )
+    elif spec.topology == "chain":
+        # A caterpillar: peel one atom per level until two are left.
+        def peel(lo: int) -> HierarchyNode:
+            if n - lo <= 2:
+                return HierarchyNode(atoms=np.arange(lo, n, dtype=np.int64))
+            head = HierarchyNode(atoms=np.array([lo], dtype=np.int64))
+            return HierarchyNode(
+                atoms=np.arange(lo, n, dtype=np.int64),
+                children=[head, peel(lo + 1)],
+            )
+
+        root = peel(0)
+    elif spec.topology == "unary":
+        # Single-child internal nodes wrapping one leaf: every node owns
+        # the same atoms.  Valid under the partition invariant, and the
+        # harshest case for LCA routing and dirty closures.
+        node = HierarchyNode(atoms=np.arange(n, dtype=np.int64), name="leaf")
+        for level in range(3):
+            node = HierarchyNode(
+                atoms=np.arange(n, dtype=np.int64),
+                children=[node],
+                name=f"wrap{level}",
+            )
+        root = node
+    elif spec.topology == "random":
+        rng = np.random.default_rng((spec.seed, 1))
+        root = _split_range(rng, 0, n, 0, max_depth=4)
+    else:
+        raise ScenarioError(f"unknown topology {spec.topology!r}")
+    return Hierarchy(root, n)
+
+
+# ------------------------------------------------------------ constraints
+def _true_coords(spec: ScenarioSpec) -> np.ndarray:
+    rng = np.random.default_rng((spec.seed, 2))
+    span = 2.0 * max(2.0, spec.n_atoms ** (1.0 / 3.0))
+    return rng.uniform(-span, span, (spec.n_atoms, 3))
+
+
+#: Atoms a constraint kind needs; kinds the pool can't support are skipped.
+_MIN_ATOMS = {"distance": 2, "angle": 3, "torsion": 4, "position": 1, "linear": 1}
+
+
+def _draw_constraint(
+    rng, coords: np.ndarray, atoms_pool: np.ndarray, kinds: tuple[str, ...], model
+) -> Constraint:
+    """One synthetic measurement of ``coords`` over atoms in ``atoms_pool``."""
+    n_pool = atoms_pool.size
+    usable = [k for k in kinds if n_pool >= _MIN_ATOMS[k]]
+    if not usable:
+        # A leaf_only pool can be smaller than every requested kind's
+        # arity (chain topologies have single-atom leaves); fall back to
+        # whatever the pool supports — position/linear always fit.
+        usable = [k for k in CONSTRAINT_KINDS if n_pool >= _MIN_ATOMS[k]]
+    kind = usable[int(rng.integers(len(usable)))]
+    var = model.nominal_variance
+    if kind == "distance":
+        i, j = (int(a) for a in rng.choice(atoms_pool, size=2, replace=False))
+        true = float(np.linalg.norm(coords[i] - coords[j]))
+        reading = max(1e-3, model.perturb(true, rng))
+        return DistanceConstraint(i, j, reading, var)
+    if kind == "angle":
+        i, j, k = (int(a) for a in rng.choice(atoms_pool, size=3, replace=False))
+        true = float(AngleConstraint(i, j, k, np.pi / 2, 1.0).evaluate(coords)[0])
+        reading = float(np.clip(model.perturb(true, rng), 1e-3, np.pi - 1e-3))
+        return AngleConstraint(i, j, k, reading, var)
+    if kind == "torsion":
+        i, j, k, l = (int(a) for a in rng.choice(atoms_pool, size=4, replace=False))
+        true = dihedral(coords, i, j, k, l)
+        reading = model.perturb(true, rng)
+        reading = (reading + np.pi) % (2.0 * np.pi) - np.pi
+        return TorsionConstraint(i, j, k, l, float(reading), var)
+    if kind == "position":
+        i = int(rng.choice(atoms_pool))
+        reading = np.array([model.perturb(float(v), rng) for v in coords[i]])
+        return PositionConstraint(i, reading, var)
+    # linear: a random 1-2 atom projection measurement.
+    k = int(rng.integers(1, min(2, n_pool) + 1))
+    atoms = tuple(int(a) for a in np.sort(rng.choice(atoms_pool, size=k, replace=False)))
+    rows = int(rng.integers(1, 3))
+    a = rng.normal(0.0, 1.0, (rows, 3 * k))
+    true = a @ coords[list(atoms)].ravel()
+    target = np.array([model.perturb(float(v), rng) for v in true])
+    return LinearConstraint(atoms, a, target, np.full(rows, var))
+
+
+def _constraint_pool(spec: ScenarioSpec, hierarchy: Hierarchy) -> np.ndarray:
+    """The atom pool constraints may touch (one leaf only, when degenerate)."""
+    if spec.leaf_only:
+        leaves = hierarchy.leaves()
+        rng = np.random.default_rng((spec.seed, 3))
+        leaf = leaves[int(rng.integers(len(leaves)))]
+        return leaf.atoms
+    return np.arange(spec.n_atoms, dtype=np.int64)
+
+
+def make_constraints(
+    spec: ScenarioSpec, coords: np.ndarray, hierarchy: Hierarchy, count: int, stream: int
+) -> list[Constraint]:
+    """``count`` synthetic measurements; ``stream`` picks the rng lane."""
+    rng = np.random.default_rng((spec.seed, 4, stream))
+    model = make_noise_model(spec.noise, spec.noise_sigma)
+    pool = _constraint_pool(spec, hierarchy)
+    return [
+        _draw_constraint(rng, coords, pool, spec.kinds, model) for _ in range(count)
+    ]
+
+
+# ------------------------------------------------------------ edit script
+def make_edits(spec: ScenarioSpec) -> tuple[EditOp, ...]:
+    rng = np.random.default_rng((spec.seed, 5))
+    ops = []
+    for i in range(spec.n_edits):
+        r = rng.random()
+        op = "add" if r < 0.4 else ("remove" if r < 0.65 else "update")
+        ops.append(
+            EditOp(
+                op=op,
+                index=int(rng.integers(0, 1 << 20)),
+                payload_seed=int(rng.integers(0, 1 << 31)),
+            )
+        )
+    return tuple(ops)
+
+
+def apply_edit_script(session, scenario: "Scenario") -> int:
+    """Apply the scenario's edit script to a live session; returns #ops.
+
+    ``remove``/``update`` address the session's live constraint ids by
+    ``index % len(ids)``; ``add``/``update`` payloads are drawn from the
+    op's own seed, so two sessions fed the same script receive exactly
+    the same deltas in the same order.
+    """
+    coords = scenario.problem.true_coords
+    model = make_noise_model(scenario.spec.noise, scenario.spec.noise_sigma)
+    pool = _constraint_pool(scenario.spec, session.hierarchy)
+    applied = 0
+    for op in scenario.edits:
+        cids = sorted(session.constraints)
+        rng = np.random.default_rng((scenario.spec.seed, 6, op.payload_seed))
+        if op.op == "add" or not cids:
+            session.add_constraints(
+                [_draw_constraint(rng, coords, pool, scenario.spec.kinds, model)]
+            )
+        elif op.op == "remove":
+            session.remove_constraints([cids[op.index % len(cids)]])
+        else:
+            cid = cids[op.index % len(cids)]
+            session.update_constraints(
+                {cid: _draw_constraint(rng, coords, pool, scenario.spec.kinds, model)}
+            )
+        applied += 1
+    return applied
+
+
+# --------------------------------------------------------------- assembly
+def spec_from_seed(seed: int) -> ScenarioSpec:
+    """Draw one scenario spec; every knob is a function of ``seed`` alone."""
+    rng = np.random.default_rng((int(seed), 0))
+    topology = TOPOLOGIES[int(rng.integers(len(TOPOLOGIES)))]
+    n_atoms = int(rng.integers(4, 25))
+    # Mix 2-5 constraint kinds; order-stable subset of the catalogue.
+    n_kinds = int(rng.integers(2, len(CONSTRAINT_KINDS) + 1))
+    kind_idx = np.sort(
+        rng.choice(len(CONSTRAINT_KINDS), size=n_kinds, replace=False)
+    )
+    kinds = tuple(CONSTRAINT_KINDS[i] for i in kind_idx)
+    noise = NOISE_NAMES[int(rng.integers(len(NOISE_NAMES)))]
+    anneal = None
+    if rng.random() < 0.4:
+        anneal = (float(rng.uniform(2.0, 50.0)), float(rng.uniform(0.3, 0.9)))
+    faults = None
+    if rng.random() < 0.35:
+        faults = (
+            f"nan={rng.uniform(0.01, 0.08):.3f},"
+            f"chol={rng.uniform(0.01, 0.08):.3f},"
+            f"corrupt={rng.uniform(0.01, 0.05):.3f},"
+            f"seed={int(rng.integers(1 << 16))}"
+        )
+    return ScenarioSpec(
+        seed=int(seed),
+        topology=topology,
+        n_atoms=n_atoms,
+        n_constraints=int(rng.integers(4, 41)),
+        kinds=kinds,
+        noise=noise,
+        noise_sigma=float(rng.uniform(0.05, 0.4)),
+        batch_size=int(rng.choice([1, 2, 4, 8, 16])),
+        prior_sigma=float(rng.uniform(1.0, 8.0)),
+        perturbation=float(rng.uniform(0.1, 1.0)),
+        anneal=anneal,
+        faults=faults,
+        n_edits=int(rng.integers(1, 7)),
+        n_arrivals=int(rng.integers(2, 5)),
+        leaf_only=bool(rng.random() < 0.15),
+    )
+
+
+def build_scenario(spec: ScenarioSpec) -> Scenario:
+    """Materialize a spec into a runnable scenario (deterministic)."""
+    if spec.n_atoms < 4:
+        raise ScenarioError("scenarios need at least 4 atoms")
+    if spec.n_constraints < 1:
+        raise ScenarioError("scenarios need at least one constraint")
+    hierarchy = make_hierarchy(spec)
+    coords = _true_coords(spec)
+    constraints = make_constraints(spec, coords, hierarchy, spec.n_constraints, 0)
+    problem = StructureProblem(
+        name=f"fuzz{spec.seed}-{spec.topology}{spec.n_atoms}",
+        true_coords=coords,
+        constraints=constraints,
+        hierarchy=hierarchy,
+        prior_sigma=spec.prior_sigma,
+        perturbation=spec.perturbation,
+        metadata={"spec": spec.to_dict()},
+    )
+    options = UpdateOptions(
+        schedule=None if spec.anneal is None else AnnealSchedule(*spec.anneal),
+    )
+    fault_config = None if spec.faults is None else FaultConfig.parse(spec.faults)
+    # Streaming arrivals: fresh constraint batches beyond the base set.
+    rng = np.random.default_rng((spec.seed, 7))
+    arrivals = tuple(
+        tuple(
+            make_constraints(
+                spec, coords, hierarchy, int(rng.integers(1, 6)), stream=1 + k
+            )
+        )
+        for k in range(spec.n_arrivals)
+    )
+    return Scenario(
+        spec=spec,
+        problem=problem,
+        options=options,
+        fault_config=fault_config,
+        edits=make_edits(spec),
+        arrivals=arrivals,
+    )
+
+
+def generate_scenario(seed: int) -> Scenario:
+    """The scenario for one seed (spec draw + materialization)."""
+    return build_scenario(spec_from_seed(seed))
+
+
+def generate_scenarios(seed: int, budget: int):
+    """Yield ``budget`` scenarios for seeds ``seed .. seed+budget-1``."""
+    for k in range(budget):
+        yield generate_scenario(seed + k)

@@ -1,0 +1,91 @@
+"""Greedy spec minimization for failing fuzz seeds.
+
+A raw failing scenario can mix five constraint kinds, an annealing
+schedule, a fault profile and a six-op edit script; most of that is
+usually irrelevant to the failure.  ``minimize_spec`` repeatedly offers
+simpler variants of the spec — fewer constraints, fewer atoms, knobs
+switched off, a simpler topology — and keeps any variant on which the
+same invariant still fails.  The result is the smallest spec this greedy
+pass can reach, suitable for pasting into a regression test (see
+``repro fuzz --seed N --minimize``).
+
+Minimization re-runs the failing checks once per candidate, so the cost
+is bounded by ``candidates × check time``; the candidate order tries the
+most drastic cuts first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable, Iterator
+
+from repro.scenarios.generator import Scenario, ScenarioSpec, build_scenario
+
+
+def shrink_candidates(spec: ScenarioSpec) -> Iterator[ScenarioSpec]:
+    """Simpler variants of ``spec``, most aggressive first.
+
+    Each candidate changes one aspect; the greedy loop composes them.
+    """
+    if spec.n_constraints > 1:
+        yield replace(spec, n_constraints=max(1, spec.n_constraints // 2))
+        yield replace(spec, n_constraints=spec.n_constraints - 1)
+    if spec.n_atoms > 4:
+        yield replace(spec, n_atoms=max(4, spec.n_atoms // 2))
+        yield replace(spec, n_atoms=spec.n_atoms - 1)
+    if spec.topology != "flat":
+        yield replace(spec, topology="flat")
+    if spec.faults is not None:
+        yield replace(spec, faults=None)
+    if spec.anneal is not None:
+        yield replace(spec, anneal=None)
+    if spec.noise != "gaussian":
+        yield replace(spec, noise="gaussian")
+    if len(spec.kinds) > 1:
+        for k in spec.kinds:
+            yield replace(spec, kinds=(k,))
+    if spec.n_edits > 1:
+        yield replace(spec, n_edits=spec.n_edits // 2)
+        yield replace(spec, n_edits=spec.n_edits - 1)
+    if spec.n_arrivals > 2:
+        yield replace(spec, n_arrivals=2)
+    if spec.leaf_only:
+        yield replace(spec, leaf_only=False)
+    if spec.batch_size != 16:
+        yield replace(spec, batch_size=16)
+
+
+def minimize_spec(
+    spec: ScenarioSpec,
+    still_fails: Callable[[Scenario], bool],
+    max_rounds: int = 8,
+) -> ScenarioSpec:
+    """Greedily shrink ``spec`` while ``still_fails`` holds.
+
+    ``still_fails`` takes a materialized scenario and returns True when
+    the original failure reproduces on it.  Candidates whose
+    materialization itself raises are skipped (a shrink must stay a
+    valid scenario to count).  Stops when a full round accepts nothing
+    or after ``max_rounds`` rounds.
+    """
+    current = spec
+    for _ in range(max_rounds):
+        improved = False
+        for candidate in shrink_candidates(current):
+            try:
+                scenario = build_scenario(candidate)
+            except Exception:
+                continue
+            try:
+                if still_fails(scenario):
+                    current = candidate
+                    improved = True
+                    break
+            except Exception:
+                # A crash during the check is the failure reproducing.
+                current = candidate
+                improved = True
+                break
+        if not improved:
+            break
+    return current

@@ -83,6 +83,33 @@ class TestSolve:
         with pytest.raises(SystemExit):
             main(["solve", str(helix_file), "--anneal", "banana"])
 
+    def test_batch_anneal_flag(self, helix_file, capsys):
+        code = main(
+            ["solve", str(helix_file), "--cycles", "2",
+             "--batch-anneal", "10,0.5,2"]
+        )
+        assert code == 0
+        assert "mean |residual|" in capsys.readouterr().out
+
+    def test_bad_batch_anneal_flag(self, helix_file):
+        with pytest.raises(SystemExit, match="batch-anneal"):
+            main(["solve", str(helix_file), "--batch-anneal", "banana"])
+        with pytest.raises(SystemExit, match="batch-anneal"):
+            main(["solve", str(helix_file), "--batch-anneal", "0.2,0.5"])
+
+    def test_batch_anneal_composes_with_session(self, helix_file, tmp_path):
+        sdir = tmp_path / "sess"
+        code = main(
+            ["solve", str(helix_file), "--cycles", "2",
+             "--batch-anneal", "8,0.5", "--session-dir", str(sdir)]
+        )
+        assert code == 0
+        assert (
+            main(["resolve", "--session-dir", str(sdir),
+                  "--add", "dist:0:9:4.1:0.01"])
+            == 0
+        )
+
 
 class TestSessionCLI:
     @pytest.fixture
@@ -220,6 +247,79 @@ class TestSimulate:
             == 0
         )
         assert "Challenge" in capsys.readouterr().out
+
+
+class TestFuzz:
+    def test_sweep_passes_and_reports(self, tmp_path, capsys):
+        out = tmp_path / "fuzz.json"
+        code = main(
+            ["fuzz", "--seed", "0", "--budget", "3",
+             "--checks", "fast_vs_reference,warm_equals_cold",
+             "--out", str(out)]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "3 passed, 0 failed" in printed
+        import json
+
+        doc = json.loads(out.read_text())
+        assert doc["ok"] and doc["ran"] == 3
+        assert len(doc["scenarios"]) == 3
+
+    def test_streaming_rollup_printed(self, capsys):
+        assert (
+            main(["fuzz", "--seed", "0", "--budget", "2",
+                  "--checks", "streaming"])
+            == 0
+        )
+        assert "streaming:" in capsys.readouterr().out
+
+    def test_unknown_check_rejected(self):
+        with pytest.raises(SystemExit, match="unknown"):
+            main(["fuzz", "--budget", "1", "--checks", "vibes"])
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit, match="backend"):
+            main(["fuzz", "--budget", "1", "--backends", "gpu"])
+
+    def test_failure_writes_artifact_and_exits_nonzero(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        """With a sabotaged fast kernel the sweep must fail, minimize the
+        seed, and leave a reproducible artifact."""
+        from repro.linalg.fast import trsm_right as real_trsm
+
+        def broken(lower, b, **kwargs):
+            result = real_trsm(lower, b, **kwargs)
+            result *= 1.0 + 1e-6
+            return result
+
+        monkeypatch.setattr("repro.core.update.trsm_right", broken)
+        artifact = tmp_path / "failing.json"
+        code = main(
+            ["fuzz", "--seed", "0", "--budget", "1",
+             "--checks", "fast_vs_reference", "--minimize",
+             "--fail-artifact", str(artifact)]
+        )
+        assert code == 1
+        assert "FAIL" in capsys.readouterr().out
+        import json
+
+        doc = json.loads(artifact.read_text())
+        entry = doc["failures"][0]
+        assert entry["seed"] == 0
+        assert entry["failed_checks"] == ["fast_vs_reference"]
+        assert "repro fuzz --seed 0" in entry["repro"]
+        minimized = entry["minimized_spec"]
+        assert minimized["n_constraints"] <= entry["spec"]["n_constraints"]
+
+    def test_time_budget_stops_early(self, capsys):
+        code = main(
+            ["fuzz", "--seed", "0", "--budget", "50",
+             "--checks", "fast_vs_reference", "--time-budget", "0.01"]
+        )
+        assert code == 0
+        assert "time budget exhausted" in capsys.readouterr().out
 
 
 class TestParser:

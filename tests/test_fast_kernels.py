@@ -365,6 +365,73 @@ class TestFastMatchesReference:
             # same kernels, same order: bitwise, not just close
             assert np.array_equal(par.estimate.mean, ref.estimate.mean)
 
+class TestFastMatchesReferenceFuzzShapes:
+    """Fast-vs-reference agreement over fuzzer-generated shapes.
+
+    The hand-built problems above are all even-dimensioned, batch-16 and
+    dense-support; the scenario generator covers the shapes they miss —
+    odd state dims, rank-1 (single-row) batches, tiny leaf-only pools —
+    on every topology family.
+    """
+
+    @pytest.mark.parametrize("seed", [0, 2, 4, 6, 8])
+    def test_fuzzed_scenario_agrees(self, seed):
+        from repro.scenarios import generate_scenario
+        from repro.scenarios.invariants import check_fast_vs_reference
+
+        result = check_fast_vs_reference(generate_scenario(seed))
+        assert result.ok, result.detail
+
+    @pytest.mark.parametrize("n_atoms", [5, 7, 13])
+    def test_odd_state_dims(self, n_atoms):
+        from dataclasses import replace
+
+        from repro.scenarios import build_scenario, spec_from_seed
+        from repro.scenarios.invariants import check_fast_vs_reference
+
+        spec = replace(spec_from_seed(1), n_atoms=n_atoms, faults=None)
+        result = check_fast_vs_reference(build_scenario(spec))
+        assert result.ok, result.detail
+
+    def test_rank_one_batches(self):
+        """batch_size=1 exercises the m=1 corner of every kernel."""
+        from dataclasses import replace
+
+        from repro.scenarios import build_scenario, spec_from_seed
+        from repro.scenarios.invariants import check_fast_vs_reference
+
+        spec = replace(spec_from_seed(2), batch_size=1, faults=None)
+        result = check_fast_vs_reference(build_scenario(spec))
+        assert result.ok, result.detail
+
+    def test_empty_support_constraint(self, rng):
+        """An all-zero linear constraint has an empty column support; the
+        gathered-GEMM branch must handle s=0 like the reference path."""
+        estimate, constraints = _random_problem(rng, p=5)
+        constraints.append(
+            LinearConstraint(
+                (0, 3), np.zeros((2, 6)), np.zeros(2), np.array([0.5, 0.5])
+            )
+        )
+        ref = _run_flat(estimate, constraints, "reference")
+        fast = _run_flat(estimate, constraints, "fast")
+        assert np.allclose(fast.mean, ref.mean, rtol=RTOL, atol=ATOL)
+        assert np.allclose(fast.covariance, ref.covariance, rtol=RTOL, atol=ATOL)
+
+    def test_leaf_only_tiny_pool(self):
+        from dataclasses import replace
+
+        from repro.scenarios import build_scenario, spec_from_seed
+        from repro.scenarios.invariants import check_fast_vs_reference
+
+        spec = replace(
+            spec_from_seed(3), topology="chain", leaf_only=True, faults=None
+        )
+        result = check_fast_vs_reference(build_scenario(spec))
+        assert result.ok, result.detail
+
+
+class TestDispatchModes:
     @pytest.mark.parametrize("dispatch", ["dependency", "wavefront"])
     def test_dispatch_modes_match_serial(self, helix2_problem, dispatch):
         est = helix2_problem.initial_estimate(0)

@@ -1,0 +1,160 @@
+"""Edge cases for the obs analytics and regression-gate loaders.
+
+Degenerate traces the fuzzer can produce — zero-constraint solves,
+single-cycle convergence, warm re-solves whose dirty frontier is empty —
+must flow through ``doctor_report``/``solve_passes`` without crashing,
+and the regress loaders must fail loudly (typed errors, not stack
+corruption) on malformed benchmark reports.
+"""
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro import obs
+from repro.core.session import SolveSession
+from repro.errors import TraceAnalysisError
+from repro.obs import analysis
+from repro.obs.regress import (
+    check_metric,
+    hotpath_metric,
+    incremental_entry,
+    median_mad,
+    run_regress,
+)
+from repro.scenarios import build_scenario, spec_from_seed
+
+
+def _scenario():
+    return build_scenario(replace(spec_from_seed(0), faults=None))
+
+
+def _traced_session(constraints, max_cycles=1, resolve_empty=False):
+    scenario = _scenario()
+    tracer = obs.Tracer()
+    session = SolveSession(
+        scenario.fresh_hierarchy(),
+        constraints,
+        batch_size=4,
+        options=scenario.options,
+    )
+    try:
+        with obs.tracing(tracer):
+            session.solve(
+                scenario.initial_estimate(), max_cycles=max_cycles, tol=1e9
+            )
+            if resolve_empty:
+                result = session.resolve(scope="dirty")
+                assert result.n_dirty == 0
+    finally:
+        session.close()
+    return tracer
+
+
+class TestDoctorDegenerateTraces:
+    def test_zero_constraint_solve_trace(self):
+        tracer = _traced_session([])
+        report = obs.doctor_report(tracer)
+        assert report["passes"]
+
+    def test_single_cycle_convergence_trace(self):
+        scenario = _scenario()
+        tracer = _traced_session(scenario.problem.constraints, max_cycles=1)
+        report = obs.doctor_report(tracer)
+        assert len(report["passes"]) == 1
+
+    def test_empty_dirty_frontier_resolve_trace(self):
+        """A no-op warm resolve records a cycle with no recomputed nodes;
+        the pass extractor must drop it instead of dividing by zero."""
+        scenario = _scenario()
+        tracer = _traced_session(
+            scenario.problem.constraints, resolve_empty=True
+        )
+        report = obs.doctor_report(tracer)
+        assert report["passes"]
+        passes = analysis.solve_passes(tracer)
+        assert all(p.nodes for p in passes)
+
+    def test_empty_trace_raises_typed_error(self):
+        with pytest.raises(TraceAnalysisError, match="no 'cycle' spans"):
+            analysis.solve_passes(obs.Tracer())
+        with pytest.raises(TraceAnalysisError):
+            obs.doctor_report(obs.Tracer())
+
+
+class TestRegressLoaders:
+    def test_median_mad_rejects_empty(self):
+        with pytest.raises(ValueError, match="at least one sample"):
+            median_mad([])
+
+    def test_check_metric_rejects_unknown_direction(self):
+        with pytest.raises(ValueError, match="direction"):
+            check_metric("m", [1.0], limit=1.0, direction="sideways")
+
+    def test_hotpath_metric_missing_entry(self):
+        with pytest.raises(KeyError):
+            hotpath_metric({"results": {"helix": []}})
+
+    def test_incremental_entry_missing_entry(self):
+        with pytest.raises(KeyError):
+            incremental_entry({"results": {"helix": []}})
+
+    def test_run_regress_from_fresh_report_files(self, tmp_path):
+        """The file-loader path: no in-process measurement, verdict only
+        from report JSONs (what CI's artifact diffing uses)."""
+        hot = {
+            "results": {
+                "helix": [
+                    {
+                        "backend": "serial",
+                        "kernel_impl": "fast",
+                        "seconds_per_constraint": 1e-4,
+                    }
+                ]
+            }
+        }
+        base = tmp_path / "base.json"
+        fresh = tmp_path / "fresh.json"
+        base.write_text(json.dumps(hot))
+        hot["results"]["helix"][0]["seconds_per_constraint"] = 1.2e-4
+        fresh.write_text(json.dumps(hot))
+        report = run_regress(
+            hotpath_baseline=base,
+            incremental_baseline=None,
+            fresh_hotpath=[fresh],
+        )
+        assert report["ok"]
+        assert report["checks"][0]["samples"] == [1.2e-4]
+
+    def test_run_regress_flags_real_regression(self, tmp_path):
+        hot = {
+            "results": {
+                "helix": [
+                    {
+                        "backend": "serial",
+                        "kernel_impl": "fast",
+                        "seconds_per_constraint": 1e-4,
+                    }
+                ]
+            }
+        }
+        base = tmp_path / "base.json"
+        fresh = tmp_path / "fresh.json"
+        base.write_text(json.dumps(hot))
+        hot["results"]["helix"][0]["seconds_per_constraint"] = 5e-4  # 5x
+        fresh.write_text(json.dumps(hot))
+        report = run_regress(
+            hotpath_baseline=base,
+            incremental_baseline=None,
+            fresh_hotpath=[fresh],
+        )
+        assert not report["ok"]
+        assert report["failures"]
+
+    def test_malformed_report_raises_cleanly(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"results": {}}))
+        with pytest.raises(KeyError):
+            run_regress(hotpath_baseline=bad, incremental_baseline=None,
+                        fresh_hotpath=[bad])
