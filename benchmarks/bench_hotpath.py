@@ -81,7 +81,7 @@ def _bench_one(
         "backend": backend,
         "kernel_impl": impl,
         "seconds": best,
-        "seconds_per_constraint": best / rows,
+        "seconds_per_row": best / rows,
         "n_constraint_rows": rows,
         "peak_alloc_bytes": peak,
     }
@@ -117,7 +117,7 @@ def _bench_flat(problem, impl: str, repeats: int, seed: int = 0) -> dict:
         "kernel_impl": impl,
         "n_state": estimate.mean.shape[0],
         "seconds": best,
-        "seconds_per_constraint": best / rows,
+        "seconds_per_row": best / rows,
         "n_constraint_rows": rows,
         "peak_alloc_bytes": peak,
     }
@@ -140,7 +140,7 @@ def run_suite(
                 print(
                     f"{pname:9s} {'flat':8s} {impl:10s} "
                     f"{entry['seconds']:8.3f}s  "
-                    f"{entry['seconds_per_constraint'] * 1e6:8.2f} us/row  "
+                    f"{entry['seconds_per_row'] * 1e6:8.2f} us/row  "
                     f"peak {entry['peak_alloc_bytes'] / 1e6:7.1f} MB",
                     flush=True,
                 )
@@ -151,7 +151,7 @@ def run_suite(
                 print(
                     f"{pname:9s} {backend:8s} {impl:10s} "
                     f"{entry['seconds']:8.3f}s  "
-                    f"{entry['seconds_per_constraint'] * 1e6:8.2f} us/row  "
+                    f"{entry['seconds_per_row'] * 1e6:8.2f} us/row  "
                     f"peak {entry['peak_alloc_bytes'] / 1e6:7.1f} MB",
                     flush=True,
                 )
@@ -172,17 +172,19 @@ def _speedups(results: dict) -> dict:
 
 
 def _check_regression(report: dict, baseline_path: str, max_ratio: float) -> int:
-    """Gate on the helix/serial/fast seconds_per_constraint figure.
+    """Gate on the helix/serial/fast seconds_per_row figure.
 
     Delegates pass/fail to :func:`repro.obs.regress.check_metric` — the
     same judgment ``repro obs regress`` applies — so the CI gate and the
     local CLI cannot disagree about what counts as a regression.
+    ``hotpath_metric`` reads old baselines' ``seconds_per_constraint``
+    key as an alias, so committed baselines need no rewrite.
     """
     with open(baseline_path) as fh:
         baseline = json.load(fh)
     current, ref = hotpath_metric(report), hotpath_metric(baseline)
     check = check_metric(
-        "hotpath.helix.serial.fast.seconds_per_constraint",
+        "hotpath.helix.serial.fast.seconds_per_row",
         [current],
         limit=ref * max_ratio,
         direction="higher-is-worse",
@@ -194,7 +196,7 @@ def _check_regression(report: dict, baseline_path: str, max_ratio: float) -> int
         f"(ratio {current / ref:.2f}, limit {max_ratio:.1f})"
     )
     if not check["ok"]:
-        print("perf gate FAILED: seconds_per_constraint regressed", file=sys.stderr)
+        print("perf gate FAILED: seconds_per_row regressed", file=sys.stderr)
         return 1
     return 0
 
@@ -214,8 +216,10 @@ def _export_obs(obs_dir: str, seed: int) -> None:
     problem.assign()
     estimate = problem.initial_estimate(seed)
     tracer, registry = obs.Tracer(), obs.MetricsRegistry()
-    with SerialExecutor() as executor, obs.tracing(tracer), obs.metrics_scope(
-        registry
+    # Metrics outside tracing: the tracing() exit publishes the tracer's
+    # self-cost gauge (obs.overhead_seconds) into the metrics scope.
+    with SerialExecutor() as executor, obs.metrics_scope(registry), obs.tracing(
+        tracer
     ):
         solver = ParallelHierarchicalSolver(
             problem.hierarchy,
@@ -231,6 +235,10 @@ def _export_obs(obs_dir: str, seed: int) -> None:
         out / "hotpath_helix.metrics.json",
         extra={"benchmark": "hotpath", "workload": "helix", "seed": seed},
     )
+    plan = obs.plan_report(tracer, workers=[1, 2, 4, 8, 16], seed=seed)
+    with open(out / "hotpath_helix.plan.json", "w", encoding="utf-8") as fh:
+        json.dump(plan, fh, indent=2)
+        fh.write("\n")
     print(f"wrote obs artifacts to {out}")
 
 

@@ -190,9 +190,11 @@ def _export_obs(obs_dir: str, cycles: int, seed: int) -> None:
     rng = np.random.default_rng(seed)
     estimate = problem.initial_estimate(seed)
     tracer, registry = obs.Tracer(), obs.MetricsRegistry()
+    # Metrics outside tracing: the tracing() exit publishes the tracer's
+    # self-cost gauge (obs.overhead_seconds) into the metrics scope.
     with SolveSession(
         problem.hierarchy, problem.constraints, batch_size=16
-    ) as session, obs.tracing(tracer), obs.metrics_scope(registry):
+    ) as session, obs.metrics_scope(registry), obs.tracing(tracer):
         session.solve(estimate, max_cycles=cycles, tol=0.0)
         session.add_constraints([_leaf_delta(problem, rng)])
         session.resolve()
@@ -203,6 +205,10 @@ def _export_obs(obs_dir: str, cycles: int, seed: int) -> None:
         out / "incremental_helix.metrics.json",
         extra={"benchmark": "incremental", "workload": "helix", "seed": seed},
     )
+    plan = obs.plan_report(tracer, workers=[1, 2, 4, 8, 16], seed=seed)
+    with open(out / "incremental_helix.plan.json", "w", encoding="utf-8") as fh:
+        json.dump(plan, fh, indent=2)
+        fh.write("\n")
     print(f"wrote obs artifacts to {out}")
 
 

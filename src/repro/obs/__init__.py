@@ -15,10 +15,12 @@ with contextvar scopes so an uninstrumented run stays bit-identical:
   per-category summary; loaders (:func:`load_trace`) round-trip both
   formats back into a :class:`Tracer`; :mod:`repro.obs.validate` checks
   exported files against their schemas.
-* **Analytics** (:mod:`repro.obs.analysis`, :mod:`repro.obs.regress`) —
-  strictly post-hoc: critical path through the node-dependency DAG,
-  per-worker utilization/imbalance, Equation-1 drift, and noise-aware
-  benchmark regression diffing (the ``repro obs`` CLI family).
+* **Analytics** (:mod:`repro.obs.analysis`, :mod:`repro.obs.planner`,
+  :mod:`repro.obs.regress`) — strictly post-hoc: critical path through
+  the node-dependency DAG, per-worker utilization/imbalance, Equation-1
+  drift, capacity planning (predicted makespan/latency/cost at any
+  fleet size from one trace), and noise-aware benchmark regression
+  diffing (the ``repro obs`` CLI family).
 
 Typical use::
 
@@ -73,7 +75,16 @@ _LAZY = {
     # out of the instrumentation import path.
     "trace_stats": "repro.obs.validate",
     "validate_chrome_trace": "repro.obs.validate",
+    "validate_plan_json": "repro.obs.validate",
     "validate_spans_jsonl": "repro.obs.validate",
+    "compare_cis": "repro.obs.planner",
+    "cost_ci": "repro.obs.planner",
+    "format_plan_report": "repro.obs.planner",
+    "plan_report": "repro.obs.planner",
+    "planner_input": "repro.obs.planner",
+    "self_validation": "repro.obs.planner",
+    "simulate_schedule": "repro.obs.planner",
+    "validate_prediction": "repro.obs.planner",
     "critical_path": "repro.obs.analysis",
     "doctor_report": "repro.obs.analysis",
     "eq1_drift": "repro.obs.analysis",
@@ -105,6 +116,8 @@ __all__ = [
     "Tracer",
     "check_metric",
     "chrome_trace_events",
+    "compare_cis",
+    "cost_ci",
     "critical_path",
     "current_metrics",
     "current_tracer",
@@ -112,6 +125,7 @@ __all__ = [
     "eq1_drift",
     "format_doctor_report",
     "format_obs_summary",
+    "format_plan_report",
     "format_regress_report",
     "inc",
     "instant",
@@ -119,15 +133,21 @@ __all__ = [
     "median_mad",
     "metrics_scope",
     "observe",
+    "plan_report",
+    "planner_input",
     "read_chrome_trace",
     "read_spans_jsonl",
     "run_regress",
+    "self_validation",
     "set_gauge",
+    "simulate_schedule",
     "solve_passes",
     "span",
     "trace_stats",
     "tracing",
     "validate_chrome_trace",
+    "validate_plan_json",
+    "validate_prediction",
     "validate_spans_jsonl",
     "worker_utilization",
     "write_chrome_trace",

@@ -420,9 +420,17 @@ def doctor_report(
             }
         )
     verdicts = _verdicts(per_pass)
+    if tracer.overhead_seconds > 0:
+        total_wall = sum(p.wall_seconds for p in passes)
+        share = tracer.overhead_seconds / total_wall if total_wall > 0 else 0.0
+        verdicts.append(
+            f"tracer self-cost: {tracer.overhead_seconds:.4f}s of record/export "
+            f"bookkeeping ({share:.2%} of traced wall)"
+        )
     traced_nids = sorted({nid for p in passes for nid in p.nodes})
     return {
         "passes": per_pass,
+        "obs_overhead_seconds": tracer.overhead_seconds,
         "dag": {
             "nodes": traced_nids,
             "edges": sorted(

@@ -9,7 +9,7 @@ flapping on timer noise:
 * each fresh metric is measured ``repeats`` times (or read from several
   fresh report files) and summarized by **median and MAD** (median
   absolute deviation — robust to a single noisy repeat);
-* a *higher-is-worse* metric (``seconds_per_constraint``) only fails
+* a *higher-is-worse* metric (``seconds_per_row``) only fails
   when even its noise-discounted value ``median − k·MAD`` exceeds the
   allowed ``baseline × max_ratio``;
 * a *lower-is-worse* metric (warm-over-cold ``speedup``) only fails
@@ -90,10 +90,21 @@ def check_metric(
 
 # ------------------------------------------------- reading benchmark reports
 def hotpath_metric(report: dict) -> float:
-    """The hot-path headline: helix / serial / fast seconds per row."""
+    """The hot-path headline: helix / serial / fast seconds per row.
+
+    Reads ``seconds_per_row``; committed baselines predating the rename
+    still say ``seconds_per_constraint`` (the same number — one scalar
+    constraint row), so that key is accepted as a reading alias.
+    """
     for e in report["results"]["helix"]:
         if e["backend"] == "serial" and e["kernel_impl"] == "fast":
-            return float(e["seconds_per_constraint"])
+            value = e.get("seconds_per_row", e.get("seconds_per_constraint"))
+            if value is None:
+                raise KeyError(
+                    "helix/serial/fast entry has neither seconds_per_row "
+                    "nor the legacy seconds_per_constraint key"
+                )
+            return float(value)
     raise KeyError("helix/serial/fast entry missing from hotpath report")
 
 
@@ -198,6 +209,8 @@ def run_regress(
     min_speedup: float = DEFAULT_MIN_SPEEDUP,
     mad_k: float = DEFAULT_MAD_K,
     seed: int = 0,
+    plan_trace=None,
+    plan_max_drift: float | None = None,
 ) -> dict:
     """Diff fresh benchmark figures against the committed baselines.
 
@@ -205,8 +218,12 @@ def run_regress(
     Fresh figures come from report files written by the benchmark
     runners (``fresh_*`` paths, one sample per report) when given, and
     are measured in-process otherwise (``repeats`` samples each).
-    Returns the ``regress.json`` document: overall ``ok``, every check
-    with its samples and bands, and the failing metric names.
+    ``plan_trace`` adds the capacity-planner honesty gate: the trace is
+    re-simulated at its own lane count and the prediction must land
+    within ``plan_max_drift`` of the measured wall time.  Returns the
+    ``regress.json`` document: overall ``ok``, every check with its
+    samples and bands, the failing metric names, and an ``environment``
+    block recording how the fresh figures were produced.
     """
     checks: list[dict] = []
     if hotpath_baseline is not None:
@@ -217,7 +234,7 @@ def run_regress(
             samples = measure_hotpath(repeats=repeats, seed=seed)
         checks.append(
             check_metric(
-                "hotpath.helix.serial.fast.seconds_per_constraint",
+                "hotpath.helix.serial.fast.seconds_per_row",
                 samples,
                 limit=base * max_ratio,
                 direction="higher-is-worse",
@@ -257,8 +274,50 @@ def run_regress(
                 "ok": bool(identical),
             }
         )
+    if plan_trace is not None:
+        from repro.obs.export import load_trace
+        from repro.obs.planner import DEFAULT_MAX_DRIFT, planner_input, self_validation
+
+        drift_limit = (
+            plan_max_drift if plan_max_drift is not None else DEFAULT_MAX_DRIFT
+        )
+        inp = planner_input(load_trace(plan_trace))
+        v = self_validation(inp, max_drift=drift_limit)
+        checks.append(
+            check_metric(
+                f"planner.{inp.label}.prediction_drift",
+                [v["rel_error"]],
+                limit=drift_limit,
+                direction="higher-is-worse",
+                baseline=0.0,
+                mad_k=mad_k,
+            )
+        )
     failures = [c["metric"] for c in checks if not c["ok"]]
-    return {"ok": not failures, "checks": checks, "failures": failures}
+    fresh_measured = bool(
+        (hotpath_baseline is not None and not fresh_hotpath)
+        or (incremental_baseline is not None and not fresh_incremental)
+    )
+    # How the fresh figures were produced — pinned so a regress.json read
+    # later (or on another host) is self-describing about its conditions.
+    environment = {
+        "backend": "serial",
+        "workers": 1,
+        "kernel_impl": "fast",
+        "batch_size": 16,
+        "quick": fresh_measured,
+        "repeats": int(repeats),
+        "seed": int(seed),
+        "fresh_hotpath_reports": [str(p) for p in (fresh_hotpath or [])],
+        "fresh_incremental_reports": [str(p) for p in (fresh_incremental or [])],
+        "plan_trace": None if plan_trace is None else str(plan_trace),
+    }
+    return {
+        "ok": not failures,
+        "checks": checks,
+        "failures": failures,
+        "environment": environment,
+    }
 
 
 def format_regress_report(report: dict) -> str:

@@ -93,6 +93,13 @@ class Tracer:
         self.spans: list[Span] = []
         self.instants: list[Instant] = []
         self.epoch = time.time() - self.clock.now()
+        #: Tracer self-cost: seconds spent inside record bookkeeping (span
+        #: construction, locking, appends) plus exporter time added by
+        #: :func:`repro.obs.export.write_chrome_trace` /
+        #: :func:`~repro.obs.export.write_spans_jsonl` — measured on the
+        #: same injectable clock as the spans themselves, so analyses can
+        #: discount observability overhead from the recorded timeline.
+        self.overhead_seconds = 0.0
         self._lock = threading.Lock()
         self._ids = itertools.count(1)
 
@@ -110,10 +117,11 @@ class Tracer:
         work ran).  The span is committed on exit even when the block
         raises, so failed regions still appear on the timeline.
         """
+        t_open = self.clock.now()
         sp = Span(
             name=name,
             cat=cat,
-            start=self.clock.now(),
+            start=t_open,
             end=0.0,
             attrs=dict(attrs),
             span_id=self._new_id(),
@@ -122,6 +130,9 @@ class Tracer:
             tid=threading.get_ident(),
         )
         token = _PARENT.set(sp.span_id)
+        # Enter-side bookkeeping happened between t_open and here; start
+        # the span after it so record cost is excluded from the region.
+        sp.start = self.clock.now()
         try:
             yield sp
         finally:
@@ -129,11 +140,15 @@ class Tracer:
             sp.end = self.clock.now()
             with self._lock:
                 self.spans.append(sp)
+                self.overhead_seconds += (sp.start - t_open) + (
+                    self.clock.now() - sp.end
+                )
 
     def complete(
         self, name: str, cat: str, start: float, end: float, **attrs: Any
     ) -> Span:
         """Record an already-timed region (used by the kernel wrappers)."""
+        t0 = self.clock.now()
         sp = Span(
             name=name,
             cat=cat,
@@ -147,14 +162,16 @@ class Tracer:
         )
         with self._lock:
             self.spans.append(sp)
+            self.overhead_seconds += self.clock.now() - t0
         return sp
 
     def instant(self, name: str, cat: str = "annotation", **attrs: Any) -> Instant:
         """Record a point annotation at the current time."""
+        t0 = self.clock.now()
         ev = Instant(
             name=name,
             cat=cat,
-            ts=self.clock.now(),
+            ts=t0,
             attrs=dict(attrs),
             parent_id=_PARENT.get(),
             pid=os.getpid(),
@@ -162,12 +179,18 @@ class Tracer:
         )
         with self._lock:
             self.instants.append(ev)
+            self.overhead_seconds += self.clock.now() - t0
         return ev
 
     # ---------------------------------------------------- executor crossing
     def payload(self) -> dict:
         """Everything a worker ships back for :meth:`merge` (picklable)."""
-        return {"epoch": self.epoch, "spans": self.spans, "instants": self.instants}
+        return {
+            "epoch": self.epoch,
+            "spans": self.spans,
+            "instants": self.instants,
+            "overhead_seconds": self.overhead_seconds,
+        }
 
     def merge(self, payload: dict | None, parent_id: int | None = None) -> None:
         """Graft a worker tracer's payload into this tracer.
@@ -182,6 +205,7 @@ class Tracer:
         shift = payload["epoch"] - self.epoch
         idmap = {sp.span_id: self._new_id() for sp in payload["spans"]}
         with self._lock:
+            self.overhead_seconds += float(payload.get("overhead_seconds", 0.0))
             for sp in payload["spans"]:
                 self.spans.append(
                     Span(
@@ -261,6 +285,14 @@ def tracing(tracer: Tracer | None = None) -> Iterator[Tracer]:
     finally:
         _PARENT.reset(t_parent)
         _TRACER.reset(t_tracer)
+        # Publish the tracer's record self-cost into any metrics scope
+        # still active around this one, so metrics snapshots carry
+        # ``obs.overhead_seconds`` without the caller wiring it by hand.
+        from repro.obs.metrics import current_metrics
+
+        registry = current_metrics()
+        if registry is not None:
+            registry.gauge("obs.overhead_seconds").set(tr.overhead_seconds)
 
 
 def span(name: str, cat: str = "solve", **attrs: Any):

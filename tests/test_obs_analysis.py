@@ -416,9 +416,9 @@ class TestDoctorAcrossBackends:
         assert "eq1:" in text
 
 
-def _hotpath_report(spc):
+def _hotpath_report(spc, key="seconds_per_row"):
     return {"results": {"helix": [
-        {"backend": "serial", "kernel_impl": "fast", "seconds_per_constraint": spc},
+        {"backend": "serial", "kernel_impl": "fast", key: spc},
     ]}}
 
 
@@ -486,9 +486,31 @@ class TestRegress:
         report = regress.run_regress(hotpath_baseline=hb, fresh_hotpath=fresh)
         assert not report["ok"]
         assert report["failures"] == [
-            "hotpath.helix.serial.fast.seconds_per_constraint"
+            "hotpath.helix.serial.fast.seconds_per_row"
         ]
         assert "FAIL" in regress.format_regress_report(report)
+
+    def test_hotpath_metric_reads_legacy_key(self, tmp_path):
+        # committed baselines predate the seconds_per_row rename; the
+        # legacy seconds_per_constraint key must stay readable
+        legacy = _hotpath_report(2e-4, key="seconds_per_constraint")
+        assert regress.hotpath_metric(legacy) == 2e-4
+        hb = _write(tmp_path / "hb.json", legacy)
+        fresh = [_write(tmp_path / "f.json", _hotpath_report(2.1e-4))]
+        report = regress.run_regress(hotpath_baseline=hb, fresh_hotpath=fresh)
+        assert report["ok"]
+
+    def test_run_regress_records_environment(self, tmp_path):
+        hb = _write(tmp_path / "hb.json", _hotpath_report(1e-4))
+        fresh = [_write(tmp_path / "f.json", _hotpath_report(1e-4))]
+        report = regress.run_regress(
+            hotpath_baseline=hb, fresh_hotpath=fresh, repeats=5, seed=3
+        )
+        env = report["environment"]
+        assert env["backend"] == "serial" and env["workers"] == 1
+        assert env["kernel_impl"] == "fast" and env["repeats"] == 5
+        assert env["seed"] == 3 and env["quick"] is False
+        assert env["fresh_hotpath_reports"] == [str(fresh[0])]
 
     def test_run_regress_fails_on_lost_bit_identity(self, tmp_path):
         ib = _write(tmp_path / "ib.json", _incremental_report(10.0))
@@ -573,7 +595,7 @@ class TestObsCLI:
         ])
         assert rc == 1
         err_text = capsys.readouterr().out
-        assert "seconds_per_constraint" in err_text  # offending metric named
+        assert "seconds_per_row" in err_text  # offending metric named
         assert not json.loads(out.read_text())["ok"]
 
     def test_regress_missing_baseline_errors(self, tmp_path):

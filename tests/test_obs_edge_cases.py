@@ -102,7 +102,9 @@ class TestRegressLoaders:
 
     def test_run_regress_from_fresh_report_files(self, tmp_path):
         """The file-loader path: no in-process measurement, verdict only
-        from report JSONs (what CI's artifact diffing uses)."""
+        from report JSONs (what CI's artifact diffing uses).  The base
+        deliberately keeps the legacy seconds_per_constraint key — the
+        committed baseline predates the seconds_per_row rename."""
         hot = {
             "results": {
                 "helix": [
@@ -117,7 +119,8 @@ class TestRegressLoaders:
         base = tmp_path / "base.json"
         fresh = tmp_path / "fresh.json"
         base.write_text(json.dumps(hot))
-        hot["results"]["helix"][0]["seconds_per_constraint"] = 1.2e-4
+        del hot["results"]["helix"][0]["seconds_per_constraint"]
+        hot["results"]["helix"][0]["seconds_per_row"] = 1.2e-4
         fresh.write_text(json.dumps(hot))
         report = run_regress(
             hotpath_baseline=base,
@@ -134,7 +137,7 @@ class TestRegressLoaders:
                     {
                         "backend": "serial",
                         "kernel_impl": "fast",
-                        "seconds_per_constraint": 1e-4,
+                        "seconds_per_row": 1e-4,
                     }
                 ]
             }
@@ -142,7 +145,7 @@ class TestRegressLoaders:
         base = tmp_path / "base.json"
         fresh = tmp_path / "fresh.json"
         base.write_text(json.dumps(hot))
-        hot["results"]["helix"][0]["seconds_per_constraint"] = 5e-4  # 5x
+        hot["results"]["helix"][0]["seconds_per_row"] = 5e-4  # 5x
         fresh.write_text(json.dumps(hot))
         report = run_regress(
             hotpath_baseline=base,
