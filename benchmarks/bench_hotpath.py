@@ -59,13 +59,23 @@ def _make_executor(backend: str, workers: int):
 
 
 def _bench_one(
-    problem, backend: str, impl: str, repeats: int, workers: int, seed: int = 0
+    problem,
+    backend: str,
+    impl: str,
+    repeats: int,
+    workers: int,
+    seed: int = 0,
+    placement: str = "none",
 ) -> dict:
     estimate = problem.initial_estimate(seed)
     options = UpdateOptions(kernel_impl=impl)
     with _make_executor(backend, workers) as executor:
         solver = ParallelHierarchicalSolver(
-            problem.hierarchy, batch_size=16, options=options, executor=executor
+            problem.hierarchy,
+            batch_size=16,
+            options=options,
+            executor=executor,
+            placement=None if placement == "none" else placement,
         )
         best = float("inf")
         for _ in range(repeats):
@@ -80,6 +90,7 @@ def _bench_one(
     return {
         "backend": backend,
         "kernel_impl": impl,
+        "placement": placement,
         "seconds": best,
         "seconds_per_row": best / rows,
         "n_constraint_rows": rows,
@@ -124,7 +135,8 @@ def _bench_flat(problem, impl: str, repeats: int, seed: int = 0) -> dict:
 
 
 def run_suite(
-    problems, backends, repeats: int, workers: int, seed: int = 0
+    problems, backends, repeats: int, workers: int, seed: int = 0,
+    placement: str = "none",
 ) -> dict:
     results: dict[str, list[dict]] = {}
     for pname in problems:
@@ -146,7 +158,9 @@ def run_suite(
                 )
         for backend in backends:
             for impl in IMPLS:
-                entry = _bench_one(problem, backend, impl, repeats, workers, seed)
+                entry = _bench_one(
+                    problem, backend, impl, repeats, workers, seed, placement
+                )
                 entries.append(entry)
                 print(
                     f"{pname:9s} {backend:8s} {impl:10s} "
@@ -281,13 +295,23 @@ def main(argv=None) -> int:
         "(trace JSON, spans JSONL, metrics) into DIR; defaults to "
         "$REPRO_BENCH_OBS_DIR when set",
     )
+    ap.add_argument(
+        "--placement",
+        choices=("none", "model"),
+        default="none",
+        help="route dependency dispatch through cost-packed lane queues "
+        "with work-stealing (see benchmarks/bench_placement.py for the "
+        "dedicated before/after comparison)",
+    )
     args = ap.parse_args(argv)
 
     problems = ["helix"] if args.quick else args.problems
     backends = ["serial"] if args.quick else args.backends
     repeats = 1 if args.quick else args.repeats
 
-    results = run_suite(problems, backends, repeats, args.workers, args.seed)
+    results = run_suite(
+        problems, backends, repeats, args.workers, args.seed, args.placement
+    )
     if args.obs_dir:
         _export_obs(args.obs_dir, args.seed)
     report = {
@@ -299,6 +323,7 @@ def main(argv=None) -> int:
         "repeats": repeats,
         "workers": args.workers,
         "seed": args.seed,
+        "placement": args.placement,
         "results": results,
         "fast_over_reference_speedup": _speedups(results),
     }

@@ -67,7 +67,12 @@ def _leaf_delta(problem, rng: np.random.Generator) -> DistanceConstraint:
 
 
 def _bench_one(
-    pname: str, backend: str, cycles: int, workers: int, seed: int
+    pname: str,
+    backend: str,
+    cycles: int,
+    workers: int,
+    seed: int,
+    placement: str = "none",
 ) -> dict:
     problem = PROBLEMS[pname](seed)
     rng = np.random.default_rng(seed)
@@ -75,7 +80,11 @@ def _bench_one(
     executor = _make_executor(backend, workers)
     try:
         with SolveSession(
-            problem.hierarchy, problem.constraints, batch_size=16, executor=executor
+            problem.hierarchy,
+            problem.constraints,
+            batch_size=16,
+            executor=executor,
+            placement=None if placement == "none" else placement,
         ) as session:
             t0 = time.perf_counter()
             session.solve(estimate, max_cycles=cycles, tol=0.0)
@@ -99,6 +108,7 @@ def _bench_one(
             n_nodes = len(problem.hierarchy.nodes)
             entry = {
                 "backend": backend,
+                "placement": placement,
                 "cycles": cycles,
                 "n_nodes": n_nodes,
                 "dirty_nodes": warm.n_dirty,
@@ -125,10 +135,13 @@ def _bench_one(
     return entry
 
 
-def run_suite(problems, backends, cycles: int, workers: int, seed: int) -> dict:
+def run_suite(
+    problems, backends, cycles: int, workers: int, seed: int,
+    placement: str = "none",
+) -> dict:
     return {
         pname: [
-            _bench_one(pname, backend, cycles, workers, seed)
+            _bench_one(pname, backend, cycles, workers, seed, placement)
             for backend in backends
         ]
         for pname in problems
@@ -251,13 +264,22 @@ def main(argv=None) -> int:
         "(trace JSON, spans JSONL, metrics) into DIR; defaults to "
         "$REPRO_BENCH_OBS_DIR when set",
     )
+    ap.add_argument(
+        "--placement",
+        choices=("none", "model"),
+        default="none",
+        help="route the session's parallel dispatch through cost-packed "
+        "lane queues with work-stealing (no effect on the serial backend)",
+    )
     args = ap.parse_args(argv)
 
     problems = ["helix"] if args.quick else args.problems
     backends = ["serial"] if args.quick else args.backends
     cycles = 4 if args.quick else args.cycles
 
-    results = run_suite(problems, backends, cycles, args.workers, args.seed)
+    results = run_suite(
+        problems, backends, cycles, args.workers, args.seed, args.placement
+    )
     if args.obs_dir:
         _export_obs(args.obs_dir, cycles, args.seed)
     report = {
@@ -270,6 +292,7 @@ def main(argv=None) -> int:
         "cycles": cycles,
         "workers": args.workers,
         "seed": args.seed,
+        "placement": args.placement,
         "results": results,
     }
     with open(args.out, "w") as fh:

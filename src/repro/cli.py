@@ -115,6 +115,31 @@ def _make_executor(backend: str, workers: int):
     return cls(workers)
 
 
+def _make_placement(args):
+    """``--placement``/``--placement-from`` flags → config (or ``None``).
+
+    ``--placement-from`` implies model placement; its file may be a
+    trace (measured node seconds) or a ``plan.json`` with an
+    ``assignment`` block (simulated node seconds).
+    """
+    policy = getattr(args, "placement", "none")
+    feedback = getattr(args, "placement_from", None)
+    if feedback and policy == "none":
+        policy = "model"
+    if policy == "none":
+        return None
+    from repro.errors import PlacementError
+    from repro.parallel.placement import PlacementConfig, placement_feedback
+
+    overrides = {}
+    if feedback:
+        try:
+            overrides = placement_feedback(feedback)
+        except PlacementError as exc:
+            raise SystemExit(f"--placement-from: {exc}") from exc
+    return PlacementConfig(policy=policy, cost_overrides=overrides)
+
+
 def _parse_constraint_spec(spec: str):
     """``dist:i:j:d[:var]`` → a :class:`DistanceConstraint`."""
     from repro.constraints.distance import DistanceConstraint
@@ -158,6 +183,7 @@ def _cmd_session_solve(args: argparse.Namespace, problem) -> int:
                 schedule=_parse_batch_anneal(args.batch_anneal),
             ),
             executor=executor,
+            placement=_make_placement(args),
             store=args.session_dir,
         ) as session:
             report = session.solve(
@@ -187,7 +213,9 @@ def _cmd_resolve(args: argparse.Namespace) -> int:
 
     executor = _make_executor(args.backend, args.workers)
     try:
-        session = SolveSession.load(args.session_dir, executor=executor)
+        session = SolveSession.load(
+            args.session_dir, executor=executor, placement=_make_placement(args)
+        )
         try:
             if session.dirty_nids:
                 print(
@@ -454,6 +482,7 @@ def _cmd_obs_regress(args: argparse.Namespace) -> int:
             seed=args.seed,
             plan_trace=args.plan_trace,
             plan_max_drift=args.plan_max_drift,
+            placement=args.placement,
         )
     except (OSError, KeyError, ValueError) as exc:
         raise SystemExit(f"regress: {exc}") from exc
@@ -502,6 +531,7 @@ def _cmd_obs_plan(args: argparse.Namespace) -> int:
             knee=args.knee,
             discount_overhead=not args.no_overhead_discount,
             max_drift=args.max_drift,
+            assignment_workers=args.assignment,
         )
         for spec in args.measured or []:
             workers_str, _, trace_path = spec.partition(":")
@@ -775,6 +805,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=4, help="worker count for --backend"
     )
     solve.add_argument(
+        "--placement",
+        choices=["model", "none"],
+        default="none",
+        help="pack node tasks onto workers by Equation-1 predicted cost "
+        "with work-stealing (used with --session-dir and a parallel "
+        "--backend); 'none' keeps first-come dependency dispatch",
+    )
+    solve.add_argument(
+        "--placement-from",
+        default=None,
+        metavar="PATH",
+        help="rescale placement cost predictions with measured per-node "
+        "seconds from a previous trace (.jsonl/Chrome JSON) or a "
+        "plan.json with an assignment block (implies --placement model)",
+    )
+    solve.add_argument(
         "--max-retries",
         type=int,
         default=8,
@@ -837,6 +883,20 @@ def build_parser() -> argparse.ArgumentParser:
         default="serial",
     )
     resolve.add_argument("--workers", type=int, default=4)
+    resolve.add_argument(
+        "--placement",
+        choices=["model", "none"],
+        default="none",
+        help="cost-packed dependency dispatch with work-stealing "
+        "(see 'solve --placement')",
+    )
+    resolve.add_argument(
+        "--placement-from",
+        default=None,
+        metavar="PATH",
+        help="measured per-node seconds (trace or plan.json) rescaling "
+        "the packing (implies --placement model)",
+    )
     resolve.add_argument("--out", default=None)
     resolve.set_defaults(fn=_cmd_resolve)
 
@@ -1005,6 +1065,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="allowed relative planner drift for --plan-trace (default 0.30)",
     )
     regress.add_argument(
+        "--placement",
+        choices=["model", "none"],
+        default="none",
+        help="run the in-process hot-path measurement under cost-packed "
+        "placement (recorded in the report's environment block)",
+    )
+    regress.add_argument(
         "--out", default=None, help="write the machine-readable verdict JSON"
     )
     regress.set_defaults(fn=_cmd_obs_regress)
@@ -1089,6 +1156,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="host flop rate for the analytic Equation-1 model used to "
         "derive the noise distribution",
+    )
+    plan.add_argument(
+        "--assignment",
+        type=int,
+        default=None,
+        metavar="N",
+        help="export the simulated per-node schedule at N workers as the "
+        "plan's 'assignment' block (consumable by 'solve --placement-from')",
     )
     plan.add_argument("--out", default=None, help="write the plan.json document")
     plan.set_defaults(fn=_cmd_obs_plan)

@@ -163,6 +163,14 @@ class SolveSession:
         (``dispatch``/``shared_memory`` as there).  With a pickling
         backend the session owns a shared-memory plane and keeps node
         posteriors pinned on it across re-solves.
+    placement:
+        Forwarded to the parallel solver: a
+        :class:`~repro.parallel.placement.PlacementConfig` (or policy
+        name) enables cost-packed lane queues with work-stealing for
+        dependency dispatch.  The solver instance — and with it the
+        measured per-node costs feeding each repacking — persists across
+        :meth:`resolve` calls, so a session's placement keeps improving
+        as edits re-run subtrees.  Ignored without an executor.
     store:
         Optional :class:`~repro.faults.SessionStore` (or directory path)
         for crash-resumable persistence.  A fresh session *clears* any
@@ -180,6 +188,7 @@ class SolveSession:
         executor: "Executor | None" = None,
         dispatch: str = "dependency",
         shared_memory: bool | None = None,
+        placement=None,
         store: "SessionStore | str | Path | None" = None,
         _clear_store: bool = True,
     ):
@@ -226,6 +235,7 @@ class SolveSession:
                 dispatch=dispatch,
                 shared_memory=shared_memory,
                 plane=self._plane,
+                placement=placement,
             )
         self.cache = _SessionCache(self, plane=self._plane)
         if constraints:
@@ -548,6 +558,7 @@ class SolveSession:
         executor: "Executor | None" = None,
         dispatch: str = "dependency",
         shared_memory: bool | None = None,
+        placement=None,
     ) -> "SolveSession":
         """Rebuild a session from a :class:`SessionStore` directory.
 
@@ -581,6 +592,7 @@ class SolveSession:
             executor=executor,
             dispatch=dispatch,
             shared_memory=shared_memory,
+            placement=placement,
             store=store,
             _clear_store=False,
         )

@@ -76,6 +76,7 @@ class SolvePass:
     end: float
     solver: str
     backend: str | None
+    placement: str = "none"
     nodes: dict[int, NodeSpanStat] = field(default_factory=dict)
 
     @property
@@ -158,6 +159,7 @@ def solve_passes(tracer: Tracer) -> list[SolvePass]:
             end=sp.end,
             solver=str(sp.attrs.get("solver", "hier")),
             backend=sp.attrs.get("backend"),
+            placement=str(sp.attrs.get("placement", "none")),
         )
         passes.append(p)
         by_span_id[sp.span_id] = p
@@ -275,6 +277,13 @@ def critical_path(p: SolvePass, edges: dict[int, int]) -> dict:
         "n_nodes": len(nodes),
         "perfect_speedup": serial / cp_seconds if cp_seconds > 0 else 1.0,
         "achieved_speedup": serial / wall if wall > 0 else 0.0,
+        # Perfect minus achieved speedup: the load-imbalance/overhead gap
+        # placement and stealing exist to shrink (0 = nothing left).
+        "headroom": max(
+            0.0,
+            (serial / cp_seconds if cp_seconds > 0 else 1.0)
+            - (serial / wall if wall > 0 else 0.0),
+        ),
         "critical_fraction_of_wall": cp_seconds / wall if wall > 0 else 0.0,
     }
 
@@ -326,6 +335,24 @@ def worker_utilization(p: SolvePass) -> dict:
         )
     mean_busy = float(np.mean(busies)) if busies else 0.0
     max_busy = max(busies) if busies else 0.0
+    worst_lane = None
+    if out_lanes:
+        lane_keys = sorted(lanes)
+        i = max(range(len(out_lanes)), key=lambda j: out_lanes[j]["busy_seconds"])
+        heaviest = max(lanes[lane_keys[i]], key=lambda s: (s.seconds, -s.nid))
+        worst_lane = {
+            "pid": out_lanes[i]["pid"],
+            "tid": out_lanes[i]["tid"],
+            "busy_seconds": out_lanes[i]["busy_seconds"],
+            "heaviest": {
+                "nid": heaviest.nid,
+                "name": heaviest.name,
+                "measured_seconds": heaviest.seconds,
+                # Filled by doctor_report from the pass's Equation-1
+                # residuals (needs the scaled model prediction).
+                "predicted_seconds": None,
+            },
+        }
     return {
         "n_lanes": len(out_lanes),
         "wall_seconds": wall,
@@ -333,6 +360,7 @@ def worker_utilization(p: SolvePass) -> dict:
             float(np.mean([ln["utilization"] for ln in out_lanes])) if out_lanes else 0.0
         ),
         "imbalance": max_busy / mean_busy if mean_busy > 0 else 1.0,
+        "worst_lane": worst_lane,
         "lanes": out_lanes,
     }
 
@@ -406,17 +434,26 @@ def doctor_report(
     edges = dag_edges(passes, hierarchy)
     per_pass = []
     for p in passes:
+        util = worker_utilization(p)
+        eq1 = eq1_drift(
+            p, model, r2_threshold=r2_threshold, rel_threshold=rel_threshold
+        )
+        wl = util.get("worst_lane")
+        if wl is not None:
+            predicted = {r["nid"]: r["predicted"] for r in eq1.get("residuals", [])}
+            wl["heaviest"]["predicted_seconds"] = predicted.get(
+                wl["heaviest"]["nid"]
+            )
         per_pass.append(
             {
                 "label": p.label,
                 "solver": p.solver,
                 "backend": p.backend,
+                "placement": p.placement,
                 "wall_seconds": p.wall_seconds,
                 "critical_path": critical_path(p, edges),
-                "utilization": worker_utilization(p),
-                "eq1": eq1_drift(
-                    p, model, r2_threshold=r2_threshold, rel_threshold=rel_threshold
-                ),
+                "utilization": util,
+                "eq1": eq1,
             }
         )
     verdicts = _verdicts(per_pass)
@@ -457,11 +494,25 @@ def _verdicts(per_pass: list[dict]) -> list[str]:
     util = anchor["utilization"]
     if util["n_lanes"] > 1:
         state = "BALANCED" if util["imbalance"] <= 1.5 else "IMBALANCED"
-        verdicts.append(
+        line = (
             f"{state}: {util['n_lanes']} lanes at "
             f"{util['mean_utilization']:.1%} mean utilization, "
             f"imbalance {util['imbalance']:.2f}"
         )
+        wl = util.get("worst_lane")
+        if wl is not None:
+            heavy = wl["heaviest"]
+            predicted = (
+                f"{heavy['predicted_seconds']:.4f}s predicted"
+                if heavy.get("predicted_seconds") is not None
+                else "no prediction"
+            )
+            line += (
+                f"; worst lane (pid={wl['pid']} tid={wl['tid']}) carries "
+                f"node[{heavy['nid']}] {heavy['name']}: "
+                f"{heavy['measured_seconds']:.4f}s measured vs {predicted}"
+            )
+        verdicts.append(line)
     else:
         verdicts.append(
             f"single lane (serial pass): {util['mean_utilization']:.1%} of the "
@@ -489,8 +540,13 @@ def format_doctor_report(report: dict, top: int = 5) -> str:
     for p in report["passes"]:
         lines.append("")
         backend = f" backend={p['backend']}" if p["backend"] else ""
+        placement = (
+            f" placement={p['placement']}"
+            if p.get("placement", "none") != "none"
+            else ""
+        )
         lines.append(
-            f"== {p['label']} (solver={p['solver']}{backend}, "
+            f"== {p['label']} (solver={p['solver']}{backend}{placement}, "
             f"wall {p['wall_seconds']:.4f}s) =="
         )
         cp = p["critical_path"]
@@ -519,6 +575,19 @@ def format_doctor_report(report: dict, top: int = 5) -> str:
                 f"  lane pid={ln['pid']} tid={ln['tid']}: {ln['n_nodes']:>3} nodes, "
                 f"busy {ln['busy_seconds']:.4f}s ({ln['utilization']:.1%}), "
                 f"longest gap {gap:.4f}s"
+            )
+        wl = util.get("worst_lane")
+        if wl is not None and util["n_lanes"] > 1:
+            heavy = wl["heaviest"]
+            predicted = (
+                f"predicted {heavy['predicted_seconds']:.4f}s"
+                if heavy.get("predicted_seconds") is not None
+                else "no prediction"
+            )
+            lines.append(
+                f"  worst lane pid={wl['pid']} tid={wl['tid']}: heaviest "
+                f"node[{heavy['nid']}] {heavy['name']} "
+                f"measured {heavy['measured_seconds']:.4f}s, {predicted}"
             )
         eq1 = p["eq1"]
         if eq1["verdict"] == "insufficient-data":

@@ -20,6 +20,12 @@ Metric name conventions (dot-separated, lowercase):
 ``kernel.seconds``                 plus ``kernel.<metric>.<cat>`` per category
 ``executor.tasks_resubmitted``     counter — tasks re-run after worker crashes
 ``executor.pool_rebuilds``         counter — broken process pools rebuilt
+``sched.placement.<policy>``       counter — cycles dispatched under a placement
+``sched.steals``                   counter — ready tasks stolen by an idle lane
+``sched.steal_misses``             counter — idle-lane steal attempts that found
+                                   nothing stealable while work was inflight
+``sched.placement_lanes``          gauge — lanes the last placement packed onto
+``sched.predicted_makespan_seconds``  gauge — last packing's simulated makespan
 ``checkpoint.nodes_saved`` /       counters — checkpoint I/O volume
 ``.nodes_resumed`` / ``.cycles_replayed``
 ``faults.injected.<channel>``      counter — faults actually injected per channel

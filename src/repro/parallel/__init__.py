@@ -26,6 +26,14 @@ from repro.parallel.executors import (
     SerialExecutor,
     ThreadExecutor,
 )
+from repro.parallel.placement import (
+    PLACEMENT_POLICIES,
+    PlacementConfig,
+    PlacementPlan,
+    placement_feedback,
+    plan_placement,
+    predicted_costs,
+)
 from repro.parallel.scheduler import DISPATCH_MODES, ParallelHierarchicalSolver
 from repro.parallel.shm import EstimateHandle, SharedEstimatePlane
 from repro.parallel.dynamic import dynamic_assignment_schedule
@@ -34,10 +42,16 @@ __all__ = [
     "DISPATCH_MODES",
     "EstimateHandle",
     "Executor",
+    "PLACEMENT_POLICIES",
     "ParallelHierarchicalSolver",
+    "PlacementConfig",
+    "PlacementPlan",
     "ProcessExecutor",
     "SerialExecutor",
     "SharedEstimatePlane",
     "ThreadExecutor",
     "dynamic_assignment_schedule",
+    "placement_feedback",
+    "plan_placement",
+    "predicted_costs",
 ]

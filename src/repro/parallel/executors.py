@@ -54,12 +54,28 @@ class Executor(abc.ABC):
 
     ``max_resubmits`` bounds how many recovery rounds :meth:`map` runs
     when tasks are lost to crashed workers.
+
+    **Steal protocol.** ``n_workers`` is the backend's genuine
+    concurrency; the placement-aware scheduler
+    (:mod:`repro.parallel.placement`) mirrors it as logical lanes — one
+    ready queue and at most one inflight task per lane — so packing and
+    stealing operate scheduler-side, backend-agnostically.  Backends
+    never see a "steal": a stolen node is simply submitted from a
+    different lane, still as a self-contained (or shared-memory-handle)
+    task.  That is what keeps stealing safe on the process backend —
+    only O(1) handles cross the pickle boundary — and bit-identical
+    everywhere, since a node's batches run in order inside one task no
+    matter which lane submits it.
     """
 
     max_resubmits: int = 3
 
     #: True when tasks/results cross an address-space boundary (pickled).
     needs_pickling: bool = False
+
+    #: Genuine backend concurrency; pool backends set it per instance.
+    #: The placement layer packs onto exactly this many lanes.
+    n_workers: int = 1
 
     @abc.abstractmethod
     def submit(

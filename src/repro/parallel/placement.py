@@ -1,0 +1,218 @@
+"""Cost-model-driven worker placement for dependency dispatch.
+
+The paper assigns subtrees to processors with a static recursive
+bipartition and reports load imbalance as the dominant residual
+inefficiency (§4.3).  This module replaces that static split with the
+measure-then-act loop the observability stack already supports:
+
+1. **Predict** each node's cost with the fitted Equation-1 work model
+   (:meth:`repro.core.workmodel.WorkModel.hierarchy_costs`), optionally
+   overlaid with measured per-node seconds from a previous trace or
+   ``plan.json`` (:func:`placement_feedback`) via
+   :func:`repro.core.workmodel.blend_measured`.
+2. **Pack** the dependency DAG onto the executor's workers with the same
+   HEFT list-scheduling simulation the capacity planner uses
+   (:func:`repro.obs.planner.simulate_schedule`), yielding a per-node
+   lane assignment and upward ranks (:func:`plan_placement`).
+3. **Execute** that assignment in
+   :class:`repro.parallel.scheduler.ParallelHierarchicalSolver`'s
+   dependency dispatch, where per-lane queues drain by descending rank
+   and an idle lane **steals** the largest predicted-cost ready task
+   from the most-loaded peer — absorbing whatever the model mispredicts.
+
+Placement and stealing only reorder *which whole node runs when*; the
+constraint batches inside a node are always applied in order by one
+task, so results stay bit-identical to the serial solver (the invariant
+``tests/test_scenarios_properties.py`` fuzzes).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.workmodel import WorkModel, analytic_work_model, blend_measured
+from repro.errors import PlacementError
+
+#: Recognized placement policies.  ``"model"`` packs Equation-1 predicted
+#: costs HEFT-style; ``"none"`` (or a ``None`` config) keeps the
+#: first-come submission order of plain dependency dispatch.
+PLACEMENT_POLICIES = ("model",)
+
+
+@dataclass
+class PlacementConfig:
+    """How the dependency dispatcher should place node tasks on workers.
+
+    ``cost_overrides`` carries measured per-node seconds (from
+    :func:`placement_feedback` or the solver's own previous cycles);
+    they take precedence over model predictions node-by-node and
+    recalibrate the rest through the median measured/predicted ratio.
+    """
+
+    policy: str = "model"
+    steal: bool = True
+    model: WorkModel | None = None
+    cost_overrides: dict[int, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.policy not in PLACEMENT_POLICIES:
+            raise PlacementError(
+                f"unknown placement policy {self.policy!r}; pick from {PLACEMENT_POLICIES}"
+            )
+        self.cost_overrides = {
+            int(nid): float(sec) for nid, sec in (self.cost_overrides or {}).items()
+        }
+
+
+@dataclass(frozen=True)
+class PlacementPlan:
+    """A packed schedule: which lane owns each node, and why."""
+
+    n_workers: int
+    policy: str
+    assignment: dict[int, int]  # nid -> lane
+    costs: dict[int, float]  # nid -> predicted seconds
+    rank: dict[int, float]  # nid -> upward rank (cost + chain to root)
+    predicted_makespan: float
+    lane_loads: tuple[float, ...]  # per-lane total assigned seconds
+
+    def lane_of(self, nid: int) -> int:
+        return self.assignment[nid]
+
+
+def coerce_placement(placement) -> PlacementConfig | None:
+    """Accept ``None``, ``"none"``, a policy name, or a config object."""
+    if placement is None or placement == "none":
+        return None
+    if isinstance(placement, PlacementConfig):
+        return placement
+    if isinstance(placement, str):
+        return PlacementConfig(policy=placement)
+    raise PlacementError(
+        f"placement must be None, a policy name or a PlacementConfig, got {placement!r}"
+    )
+
+
+def predicted_costs(
+    hierarchy,
+    batch_size: int,
+    model: WorkModel | None = None,
+    overrides: dict[int, float] | None = None,
+    nids=None,
+) -> dict[int, float]:
+    """Per-node predicted seconds for packing, feedback-corrected.
+
+    Equation-1 predictions (the analytic FLOP-count model when no fitted
+    one is supplied) overlaid with measured ``overrides`` through
+    :func:`repro.core.workmodel.blend_measured`.
+    """
+    model = model if model is not None else analytic_work_model()
+    predicted = model.hierarchy_costs(hierarchy, batch_size, nids=nids)
+    if overrides:
+        predicted, _ = blend_measured(predicted, overrides)
+    return predicted
+
+
+def plan_placement(
+    costs: dict[int, float],
+    edges: dict[int, int],
+    n_workers: int,
+    policy: str = "model",
+) -> PlacementPlan:
+    """Pack the cost-weighted DAG onto ``n_workers`` lanes (HEFT).
+
+    Runs the capacity planner's deterministic list-scheduling simulation
+    (:func:`repro.obs.planner.simulate_schedule`) with assignment
+    recording, so the executed placement is exactly the schedule
+    ``repro obs plan --assignment`` exports and the planner's makespan
+    predictions describe.
+    """
+    if policy not in PLACEMENT_POLICIES:
+        raise PlacementError(
+            f"unknown placement policy {policy!r}; pick from {PLACEMENT_POLICIES}"
+        )
+    if n_workers < 1:
+        raise PlacementError(f"need at least one worker, got {n_workers}")
+    # Imported here: repro.obs.planner is a heavier import (numpy stats,
+    # cost models) than the solve path should pay unless placement is on.
+    from repro.obs.planner import simulate_schedule
+
+    sim = simulate_schedule(costs, edges, n_workers, include_assignment=True)
+    assignment = {row["nid"]: row["worker"] for row in sim["assignment"]}
+    rank = {row["nid"]: row["rank"] for row in sim["assignment"]}
+    loads = [0.0] * n_workers
+    for nid, lane in assignment.items():
+        loads[lane] += costs[nid]
+    return PlacementPlan(
+        n_workers=n_workers,
+        policy=policy,
+        assignment=assignment,
+        costs=dict(costs),
+        rank=rank,
+        predicted_makespan=float(sim["makespan_seconds"]),
+        lane_loads=tuple(loads),
+    )
+
+
+def placement_feedback(path: str | Path) -> dict[int, float]:
+    """Measured per-node seconds from a previous run, for ``--placement-from``.
+
+    Accepts either a traced run (spans JSONL or Chrome trace — the
+    anchor pass's overhead-discounted per-node durations, exactly what
+    the capacity planner consumes) or a ``plan.json`` whose
+    ``assignment`` block carries simulated per-node seconds.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise PlacementError(f"placement feedback file not found: {path}")
+    doc = None
+    if path.suffix == ".json":
+        try:
+            doc = json.loads(path.read_text())
+        except (ValueError, OSError) as exc:
+            raise PlacementError(f"cannot read placement feedback {path}: {exc}") from exc
+    if isinstance(doc, dict) and "plan_version" in doc:
+        block = doc.get("assignment")
+        if not isinstance(block, dict) or not block.get("nodes"):
+            raise PlacementError(
+                f"plan {path} has no 'assignment' block; re-run "
+                "'repro obs plan --assignment N' or pass a trace instead"
+            )
+        return {
+            int(row["nid"]): float(row["seconds"])
+            for row in block["nodes"]
+            if float(row.get("seconds", 0.0)) > 0.0
+        }
+    from repro.errors import TraceAnalysisError
+    from repro.obs.export import load_trace
+    from repro.obs.planner import planner_input
+
+    try:
+        tracer = load_trace(path)
+        inp = planner_input(tracer)
+    except (TraceAnalysisError, ValueError, KeyError, OSError) as exc:
+        raise PlacementError(
+            f"cannot extract per-node costs from {path}: {exc}"
+        ) from exc
+    return {nid: sec for nid, sec in inp.costs.items() if sec > 0.0}
+
+
+def hierarchy_edges(hierarchy, nids=None) -> dict[int, int]:
+    """``nid -> parent nid`` map (root → -1) for the packing DAG.
+
+    With ``nids`` (a dirty frontier) the map is restricted to those
+    nodes; parents outside the set become -1 so subtree roots of the
+    restricted pass are scheduling roots.
+    """
+    keep = None if nids is None else set(nids)
+    edges: dict[int, int] = {}
+    for node in hierarchy.nodes:
+        if keep is not None and node.nid not in keep:
+            continue
+        parent = node.parent.nid if node.parent is not None else -1
+        if keep is not None and parent not in keep:
+            parent = -1
+        edges[node.nid] = parent
+    return edges
