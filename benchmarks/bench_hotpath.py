@@ -1,22 +1,26 @@
-"""Hot-path benchmark: fast vs reference kernels across executor backends.
+"""Hot-path benchmark: kernel tiers across executor backends.
 
 Times one hierarchical cycle on the two paper workloads (helix, length 4,
 n=510 root state; synthetic 30S ribosome, ~900 atoms) for every
-combination of kernel implementation (``fast`` / ``reference``) and
-executor backend (serial / thread / process), reporting wall seconds,
-seconds per scalar constraint row, and the dispatching process's peak
-traced allocations (``tracemalloc`` is process-wide: thread-backend
-workers are included, process-backend workers are not).
+combination of kernel implementation (``reference`` / ``fast`` /
+``vector``) and executor backend (serial / thread / process), reporting
+wall seconds, seconds per scalar constraint row, and the dispatching
+process's peak traced allocations (``tracemalloc`` is process-wide:
+thread-backend workers are included, process-backend workers are not).
+``--split-out`` additionally records one serial helix cycle per tier
+under a counters recorder and writes the assembly ("vec") vs kernel time
+split the planned-assembly tier targets.
 
 Standalone — no pytest-benchmark required::
 
     PYTHONPATH=src python benchmarks/bench_hotpath.py --out BENCH_hotpath.json
 
 CI runs the quick form and gates on regression against the committed
-baseline::
+baseline plus the vector-over-fast floor::
 
     PYTHONPATH=src python benchmarks/bench_hotpath.py --quick \
-        --out /tmp/bench.json --check-against BENCH_hotpath.json
+        --out /tmp/bench.json --check-against BENCH_hotpath.json \
+        --min-vector-speedup 1.2 --split-out /tmp/assembly_split.json
 """
 
 from __future__ import annotations
@@ -47,7 +51,7 @@ PROBLEMS = {
     "ribosome": lambda seed: build_ribo30s(seed=seed),
 }
 BACKENDS = ("serial", "thread", "process")
-IMPLS = ("reference", "fast")
+IMPLS = ("reference", "fast", "vector")
 
 
 def _make_executor(backend: str, workers: int):
@@ -136,7 +140,7 @@ def _bench_flat(problem, impl: str, repeats: int, seed: int = 0) -> dict:
 
 def run_suite(
     problems, backends, repeats: int, workers: int, seed: int = 0,
-    placement: str = "none",
+    placement: str = "none", impls=IMPLS,
 ) -> dict:
     results: dict[str, list[dict]] = {}
     for pname in problems:
@@ -146,7 +150,7 @@ def run_suite(
         if pname == "helix":
             # Flat solve at the full 510-dim state: the n >= 300 regime
             # the symmetric kernels are built for (see _bench_flat).
-            for impl in IMPLS:
+            for impl in impls:
                 entry = _bench_flat(problem, impl, repeats, seed)
                 entries.append(entry)
                 print(
@@ -157,7 +161,7 @@ def run_suite(
                     flush=True,
                 )
         for backend in backends:
-            for impl in IMPLS:
+            for impl in impls:
                 entry = _bench_one(
                     problem, backend, impl, repeats, workers, seed, placement
                 )
@@ -173,15 +177,18 @@ def run_suite(
     return results
 
 
-def _speedups(results: dict) -> dict:
-    """fast-over-reference wall-time ratio per problem/backend."""
+def _ratio_table(results: dict, slow_impl: str, fast_impl: str) -> dict:
+    """Wall-time ratio slow/fast per problem/backend, where both ran."""
     out: dict[str, dict[str, float]] = {}
     for pname, entries in results.items():
         by_key = {(e["backend"], e["kernel_impl"]): e["seconds"] for e in entries}
-        out[pname] = {
-            backend: by_key[(backend, "reference")] / by_key[(backend, "fast")]
+        table = {
+            backend: by_key[(backend, slow_impl)] / by_key[(backend, fast_impl)]
             for backend in {e["backend"] for e in entries}
+            if (backend, slow_impl) in by_key and (backend, fast_impl) in by_key
         }
+        if table:
+            out[pname] = table
     return out
 
 
@@ -213,6 +220,82 @@ def _check_regression(report: dict, baseline_path: str, max_ratio: float) -> int
         print("perf gate FAILED: seconds_per_row regressed", file=sys.stderr)
         return 1
     return 0
+
+
+def _check_vector_speedup(report: dict, min_speedup: float) -> int:
+    """Gate the planned-assembly tier: vector must beat fast on helix/serial.
+
+    Reads both entries out of the *fresh* report (same machine, same run),
+    so the floor is a tier-vs-tier comparison rather than a noisy
+    cross-machine one.
+    """
+    entries = report["results"].get("helix", [])
+    by_key = {(e["backend"], e["kernel_impl"]): e["seconds"] for e in entries}
+    fast = by_key.get(("serial", "fast"))
+    vector = by_key.get(("serial", "vector"))
+    if fast is None or vector is None:
+        print(
+            "vector gate SKIPPED: need both fast and vector helix/serial entries",
+            file=sys.stderr,
+        )
+        return 1
+    speedup = fast / vector
+    print(
+        f"vector gate: helix serial fast {fast:.3f}s / vector {vector:.3f}s "
+        f"= {speedup:.2f}x (floor {min_speedup:.2f}x)"
+    )
+    if speedup < min_speedup:
+        print(
+            f"vector gate FAILED: {speedup:.2f}x < required {min_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _assembly_split(seed: int, impls) -> dict:
+    """Assembly ("vec") vs kernel seconds per tier, from the op counters.
+
+    Runs one recorded serial helix cycle per tier; every instrumented
+    kernel flows through :func:`repro.linalg.counters.emit`, so the
+    category totals partition the instrumented time exactly: ``vec``
+    covers batch assembly (scalar loop, planned assembly and plan
+    builds), the rest is linear-algebra kernel time.
+    """
+    from repro.linalg import Recorder, recording
+
+    problem = PROBLEMS["helix"](seed)
+    problem.assign()
+    estimate = problem.initial_estimate(seed)
+    split: dict[str, dict] = {}
+    for impl in impls:
+        solver = ParallelHierarchicalSolver(
+            problem.hierarchy,
+            batch_size=16,
+            options=UpdateOptions(kernel_impl=impl),
+            executor=SerialExecutor(),
+        )
+        rec = Recorder()
+        with recording(rec):
+            solver.run_cycle(estimate)
+        by_cat = {
+            str(cat): secs for cat, secs in rec.seconds_by_category().items()
+        }
+        assembly = by_cat.get("vec", 0.0)
+        kernels = sum(s for c, s in by_cat.items() if c != "vec")
+        split[impl] = {
+            "seconds_by_category": by_cat,
+            "assembly_seconds": assembly,
+            "kernel_seconds": kernels,
+            "assembly_fraction": assembly / max(assembly + kernels, 1e-30),
+        }
+        print(
+            f"split     {impl:10s} assembly {assembly * 1e3:7.2f} ms  "
+            f"kernels {kernels * 1e3:7.2f} ms  "
+            f"({100 * split[impl]['assembly_fraction']:.1f}% assembly)",
+            flush=True,
+        )
+    return split
 
 
 def _export_obs(obs_dir: str, seed: int) -> None:
@@ -272,6 +355,14 @@ def main(argv=None) -> int:
     )
     ap.add_argument("--backends", nargs="+", choices=BACKENDS, default=list(BACKENDS))
     ap.add_argument(
+        "--kernel-impl",
+        nargs="+",
+        choices=IMPLS,
+        default=list(IMPLS),
+        dest="impls",
+        help="kernel tiers to benchmark (default: all three)",
+    )
+    ap.add_argument(
         "--quick",
         action="store_true",
         help="helix + serial backend only, one repeat (the CI perf smoke)",
@@ -286,6 +377,21 @@ def main(argv=None) -> int:
         type=float,
         default=2.0,
         help="fail when helix serial fast us/row exceeds baseline x this ratio",
+    )
+    ap.add_argument(
+        "--min-vector-speedup",
+        type=float,
+        default=None,
+        metavar="RATIO",
+        help="fail unless the vector tier beats the fast tier by at least "
+        "RATIO on the helix serial run of this report (CI uses 1.2)",
+    )
+    ap.add_argument(
+        "--split-out",
+        metavar="PATH",
+        default=None,
+        help="also record one serial helix cycle per tier and write the "
+        "assembly-vs-kernel time split (op-category seconds) to PATH",
     )
     ap.add_argument(
         "--obs-dir",
@@ -310,7 +416,13 @@ def main(argv=None) -> int:
     repeats = 1 if args.quick else args.repeats
 
     results = run_suite(
-        problems, backends, repeats, args.workers, args.seed, args.placement
+        problems,
+        backends,
+        repeats,
+        args.workers,
+        args.seed,
+        args.placement,
+        impls=args.impls,
     )
     if args.obs_dir:
         _export_obs(args.obs_dir, args.seed)
@@ -324,17 +436,29 @@ def main(argv=None) -> int:
         "workers": args.workers,
         "seed": args.seed,
         "placement": args.placement,
+        "kernel_impls": list(args.impls),
         "results": results,
-        "fast_over_reference_speedup": _speedups(results),
+        "fast_over_reference_speedup": _ratio_table(results, "reference", "fast"),
+        "vector_over_fast_speedup": _ratio_table(results, "fast", "vector"),
     }
+    if args.split_out:
+        split = _assembly_split(args.seed, args.impls)
+        report["assembly_split"] = split
+        with open(args.split_out, "w") as fh:
+            json.dump(split, fh, indent=2)
+            fh.write("\n")
+        print(f"wrote {args.split_out}")
     with open(args.out, "w") as fh:
         json.dump(report, fh, indent=2)
         fh.write("\n")
     print(f"wrote {args.out}")
 
+    rc = 0
     if args.check_against:
-        return _check_regression(report, args.check_against, args.max_regression)
-    return 0
+        rc |= _check_regression(report, args.check_against, args.max_regression)
+    if args.min_vector_speedup is not None:
+        rc |= _check_vector_speedup(report, args.min_vector_speedup)
+    return rc
 
 
 if __name__ == "__main__":

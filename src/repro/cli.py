@@ -764,9 +764,11 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--local-iterations", type=int, default=1)
     solve.add_argument(
         "--kernel-impl",
-        choices=["fast", "reference"],
+        choices=["fast", "reference", "vector"],
         default="fast",
-        help="update kernels: symmetric BLAS fast path or the pre-optimization reference",
+        help="update kernels: symmetric BLAS fast path, the pre-optimization "
+        "reference, or 'vector' (fast kernels + planned type-grouped "
+        "vectorized assembly with cached sparsity plans)",
     )
     solve.add_argument("--anneal", default=None, help="start,decay (e.g. 100,0.5)")
     solve.add_argument(

@@ -15,6 +15,7 @@ from repro.constraints.angle import AngleConstraint
 from repro.constraints.torsion import TorsionConstraint
 from repro.constraints.position import PositionConstraint
 from repro.constraints.batch import ConstraintBatch, assemble_batch, make_batches
+from repro.constraints.plan import BatchPlan
 from repro.constraints.noise import (
     NOISE_MODELS,
     DiagonalNoise,
@@ -28,6 +29,7 @@ from repro.constraints import library
 
 __all__ = [
     "AngleConstraint",
+    "BatchPlan",
     "Constraint",
     "ConstraintBatch",
     "DiagonalNoise",

@@ -21,6 +21,31 @@ class Constraint(abc.ABC):
     Subclasses define the measurement function ``h`` and its Jacobian with
     respect to the coordinates of the atoms in :attr:`atoms` only; the batch
     assembler scatters those into the full sparse Jacobian.
+
+    Vectorized group protocol
+    -------------------------
+    A subclass may additionally implement two classmethods that the
+    planned assembler (:mod:`repro.constraints.plan`, behind
+    ``UpdateOptions(kernel_impl="vector")``) uses to linearize *all*
+    same-type constraints of a batch in one shot instead of N Python
+    calls:
+
+    ``pack_group(constraints)``
+        Pack a homogeneous sequence into index/target arrays (built once
+        per :class:`~repro.constraints.plan.BatchPlan` and reused across
+        cycles and relinearizations).
+    ``linearize_many(coords, pack)``
+        Return ``(h, z, jac)`` stacked over the group's measurement rows:
+        ``h``/``z`` of shape ``(rows,)`` and ``jac`` of shape
+        ``(rows, 3·len(atoms))`` in the same local column layout as
+        :meth:`jacobian`.  Must reproduce the scalar
+        ``evaluate``/``residual``/``jacobian`` triple (``z = h + residual``)
+        including every degeneracy guard, so the vector tier agrees with
+        the scalar tiers to tight tolerance.
+
+    The planned assembler dispatches on the *exact* class (a subclass
+    that overrides the scalar methods without re-implementing the group
+    protocol falls back to the scalar path automatically).
     """
 
     #: Global atom indices this constraint depends on (ordered, no dups).

@@ -68,6 +68,35 @@ class DistanceConstraint(Constraint):
         out[0, 3:] = -u
         return out
 
+    # ------------------------------------------------ vectorized group API
+    #: Approximate linearization flops per measurement row (counters).
+    _VECTOR_FLOPS_PER_ROW = 20.0
+
+    @classmethod
+    def pack_group(
+        cls, constraints: "Sequence[DistanceConstraint]"
+    ) -> tuple[np.ndarray, np.ndarray]:
+        idx = np.array([(c.i, c.j) for c in constraints], dtype=np.int64)
+        target = np.array([c.distance for c in constraints], dtype=np.float64)
+        return idx, target
+
+    @classmethod
+    def linearize_many(
+        cls, coords: np.ndarray, pack: tuple[np.ndarray, np.ndarray]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized ``(h, z, jac)`` over a packed group of distances."""
+        idx, target = pack
+        d = coords[idx[:, 0]] - coords[idx[:, 1]]
+        h = np.sqrt(np.einsum("ij,ij->i", d, d))
+        z = h + (target - h)
+        # Same degeneracy guard as the scalar jacobian(): coincident pairs
+        # get the arbitrary unit direction, everyone else d/r exactly.
+        degenerate = h < _MIN_SEPARATION
+        u = d / np.where(degenerate, 1.0, h)[:, None]
+        u[degenerate] = (1.0, 0.0, 0.0)
+        jac = np.concatenate([u, -u], axis=1)
+        return h, z, jac
+
 
 def distance_between(coords: np.ndarray, i: int, j: int) -> float:
     """Convenience: Euclidean distance between atoms ``i`` and ``j``."""

@@ -40,3 +40,26 @@ class PositionConstraint(Constraint):
 
     def jacobian(self, coords: np.ndarray) -> np.ndarray:
         return np.eye(3, dtype=np.float64)
+
+    # ------------------------------------------------ vectorized group API
+    #: Approximate linearization flops per measurement row (counters).
+    _VECTOR_FLOPS_PER_ROW = 2.0
+
+    @classmethod
+    def pack_group(
+        cls, constraints: "Sequence[PositionConstraint]"
+    ) -> tuple[np.ndarray, np.ndarray]:
+        idx = np.array([c.i for c in constraints], dtype=np.int64)
+        target = np.stack([c.target for c in constraints]).astype(np.float64)
+        return idx, target
+
+    @classmethod
+    def linearize_many(
+        cls, coords: np.ndarray, pack: tuple[np.ndarray, np.ndarray]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized ``(h, z, jac)``: gather + tiled identity Jacobians."""
+        idx, target = pack
+        h = coords[idx].astype(np.float64).ravel()
+        z = h + (target.ravel() - h)
+        jac = np.tile(np.eye(3, dtype=np.float64), (idx.shape[0], 1))
+        return h, z, jac

@@ -89,3 +89,49 @@ class TorsionConstraint(Constraint):
         out[0, 6:9] = g_k
         out[0, 9:12] = g_l
         return out
+
+    # ------------------------------------------------ vectorized group API
+    #: Approximate linearization flops per measurement row (counters).
+    _VECTOR_FLOPS_PER_ROW = 120.0
+
+    @classmethod
+    def pack_group(
+        cls, constraints: "Sequence[TorsionConstraint]"
+    ) -> tuple[np.ndarray, np.ndarray]:
+        idx = np.array(
+            [(c.i, c.j, c.k, c.l) for c in constraints], dtype=np.int64
+        )
+        target = np.array([c.torsion for c in constraints], dtype=np.float64)
+        return idx, target
+
+    @classmethod
+    def linearize_many(
+        cls, coords: np.ndarray, pack: tuple[np.ndarray, np.ndarray]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized ``(h, z, jac)`` over a packed group of torsions.
+
+        ``z`` carries the (−π, π]-wrapped residual (``z = h + wrap(target −
+        h)``), matching what :meth:`residual` feeds the scalar assembler.
+        """
+        idx, target = pack
+        b1 = coords[idx[:, 1]] - coords[idx[:, 0]]
+        b2 = coords[idx[:, 2]] - coords[idx[:, 1]]
+        b3 = coords[idx[:, 3]] - coords[idx[:, 2]]
+        n1 = np.cross(b1, b2)
+        n2 = np.cross(b2, b3)
+        nb2 = np.maximum(np.sqrt(np.einsum("ij,ij->i", b2, b2)), _EPS)
+        xx = np.einsum("ij,ij->i", n1, n2)
+        yy = np.einsum("ij,ij->i", np.cross(n1, n2), b2) / nb2
+        h = np.arctan2(yy, xx)
+        raw = target - h
+        z = h + ((raw + np.pi) % (2.0 * np.pi) - np.pi)
+        nn1 = np.maximum(np.einsum("ij,ij->i", n1, n1), _EPS)
+        nn2 = np.maximum(np.einsum("ij,ij->i", n2, n2), _EPS)
+        g_i = -(nb2 / nn1)[:, None] * n1
+        g_l = (nb2 / nn2)[:, None] * n2
+        a = (np.einsum("ij,ij->i", b1, b2) / (nb2 * nb2))[:, None]
+        b = (np.einsum("ij,ij->i", b3, b2) / (nb2 * nb2))[:, None]
+        g_j = -(1.0 + a) * g_i + b * g_l
+        g_k = a * g_i - (1.0 + b) * g_l
+        jac = np.concatenate([g_i, g_j, g_k, g_l], axis=1)
+        return h, z, jac

@@ -88,13 +88,18 @@ class FlatSolver:
         ), recording(rec):
             with timer:
                 current = estimate
+                # ``produced`` marks ``current`` as this loop's own
+                # intermediate (never the caller's estimate), letting
+                # apply_batch recycle its covariance buffer in place.
+                produced = False
                 with rec.tagged("flat"):
                     for step, batch in enumerate(self.batches):
                         try:
                             current = apply_batch(
                                 current, batch, None, opts, retry_log=retries,
-                                step=step,
+                                step=step, consume_estimate=produced,
                             )
+                            produced = True
                         except BatchUpdateError as exc:
                             obs.instant(
                                 "batch.quarantined",

@@ -350,11 +350,22 @@ class HierarchicalSolver:
             return local, 0
         batches = make_batches(node.constraints, self.batch_size)
         cmap = node.column_map(self.hierarchy.n_atoms)
+        # ``produced`` marks ``local`` as this loop's own intermediate
+        # (never the cached node prior), letting apply_batch recycle its
+        # covariance buffer in place.
+        produced = False
         for step, batch in enumerate(batches):
             try:
                 local = apply_batch(
-                    local, batch, cmap, opts, retry_log=retries, step=step
+                    local,
+                    batch,
+                    cmap,
+                    opts,
+                    retry_log=retries,
+                    step=step,
+                    consume_estimate=produced,
                 )
+                produced = True
             except BatchUpdateError as exc:
                 obs.instant(
                     "batch.quarantined",

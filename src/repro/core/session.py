@@ -148,6 +148,16 @@ class _SessionCache:
 class SolveSession:
     """Warm-start solve state retained across constraint edits.
 
+    With ``UpdateOptions(kernel_impl="vector")`` the session also keeps
+    the compiled assembly plans warm for free: plans are cached in the
+    workspace arena keyed by constraint *identity*
+    (:meth:`repro.linalg.workspace.Workspace.plan_for`), and
+    :meth:`_rebuild_node` keeps unedited constraint objects while edits
+    replace exactly the edited ones — so a warm :meth:`resolve` reuses
+    every clean batch's plan and rebuilds only plans whose batch
+    contained an edited constraint (or whose node's batch packing
+    shifted around an insertion/removal).
+
     Parameters
     ----------
     hierarchy:

@@ -58,7 +58,7 @@ from repro.linalg.workspace import get_workspace
 from repro.util.validation import symmetrize
 
 #: Valid values of :attr:`UpdateOptions.kernel_impl`.
-KERNEL_IMPLS = ("fast", "reference")
+KERNEL_IMPLS = ("fast", "reference", "vector")
 
 
 @dataclass(frozen=True)
@@ -151,10 +151,14 @@ class UpdateOptions:
         ``"fast"`` (default) runs steps 2-6 through the symmetry-aware,
         workspace-reusing kernels of :mod:`repro.linalg.fast` (symmetric
         ``C·Hᵗ``, one in-place triangular solve, rank-m ``syrk``
-        downdate — see docs/performance.md); ``"reference"`` runs the
-        original out-of-place kernels and reproduces pre-optimization
-        results bitwise.  Both paths agree to high precision (property
-        tested at rtol 1e-10).
+        downdate — see docs/performance.md); ``"vector"`` runs the same
+        kernels but replaces the per-constraint step-1 assembly loop with
+        the compile-once/evaluate-many planned assembler of
+        :mod:`repro.constraints.plan` (type-grouped ``linearize_many``
+        over a cached CSR structure); ``"reference"`` runs the original
+        out-of-place kernels and reproduces pre-optimization results
+        bitwise.  All tiers agree to high precision (property tested at
+        rtol 1e-10 in tests/test_fast_kernels.py, three-way).
     schedule:
         Optional :class:`AnnealSchedule` applied per batch on top of
         ``noise_scale``: batch ``step`` runs at
@@ -179,14 +183,20 @@ def apply_batch(
     options: UpdateOptions = UpdateOptions(),
     retry_log: list[RetryReport] | None = None,
     step: int = 0,
+    consume_estimate: bool = False,
 ) -> StructureEstimate:
     """Apply one constraint batch to ``estimate`` and return the posterior.
 
     ``atom_to_column`` maps global atom ids to this estimate's local atom
     slots (``None`` = identity), allowing the same routine to serve both
     the flat solver (global state) and every node of the hierarchy (local
-    state).  The input estimate is not modified.  ``retry_log``, if given,
-    collects a :class:`~repro.faults.RetryReport` for every attempt
+    state).  The input estimate is not modified unless ``consume_estimate``
+    is true, by which the caller declares the input dead: its covariance
+    buffer may then be recycled as the posterior's storage instead of
+    copied (identical arithmetic, one fewer n×n copy).  Solver batch loops
+    pass it for their own intermediates — the output of batch ``k`` fed to
+    batch ``k+1`` — never for caller-visible estimates.  ``retry_log``, if
+    given, collects a :class:`~repro.faults.RetryReport` for every attempt
     sequence that needed at least one retry.  ``step`` is this batch's
     0-based index within its solver unit, consumed by
     :attr:`UpdateOptions.schedule` to anneal the measurement variances
@@ -208,6 +218,15 @@ def apply_batch(
     n = x.shape[0]
     injector = current_injector()
 
+    # The vector tier linearizes through a compiled BatchPlan cached in the
+    # per-thread arena; the plan survives the local-iteration loop below as
+    # well as later cycles that re-wrap the same constraints.
+    plan = (
+        get_workspace().plan_for(batch, atom_to_column, n_columns=n)
+        if options.kernel_impl == "vector"
+        else None
+    )
+
     with obs.span(
         "batch",
         cat="update",
@@ -216,16 +235,25 @@ def apply_batch(
         state_dim=int(n),
     ):
         coords_owner: _CoordsView | None = None
+        # After the first local iteration the running (x, c) is this call's
+        # own intermediate, so later iterations always own the covariance.
+        c_owned = consume_estimate
         for _ in range(options.local_iterations):
             coords_owner = _CoordsView(x, atom_to_column, reuse=coords_owner)
-            z, h, big_h, r = assemble_batch(
-                batch, coords_owner.coords, atom_to_column, n_columns=n
-            )
+            if plan is not None:
+                z, h, big_h, r, support, h_s = plan.assemble(coords_owner.coords)
+            else:
+                z, h, big_h, r = assemble_batch(
+                    batch, coords_owner.coords, atom_to_column, n_columns=n
+                )
+                support = h_s = None
             if noise_scale != 1.0:
                 r = r * noise_scale
             x, c = _update_with_retry(
-                x, c, z, h, big_h, r, n, options, injector, retry_log
+                x, c, z, h, big_h, r, n, options, injector, retry_log,
+                support=support, h_s=h_s, c_owned=c_owned,
             )
+            c_owned = True
 
     return StructureEstimate(x, c)
 
@@ -241,6 +269,9 @@ def _update_with_retry(
     options: UpdateOptions,
     injector: FaultInjector | None,
     retry_log: list[RetryReport] | None,
+    support: np.ndarray | None = None,
+    h_s: np.ndarray | None = None,
+    c_owned: bool = False,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Steps 2-6 under the bounded escalating-regularization retry policy.
 
@@ -248,7 +279,10 @@ def _update_with_retry(
     ``jitter · growth^(k-1)`` relative to ``1 + |diag(S)|``.  Every
     attempt recomputes from the pre-attempt ``(x, c)``, so transiently
     poisoned kernels and injected factorization failures are washed out
-    by the recomputation rather than committed.
+    by the recomputation rather than committed.  ``c_owned`` permits the
+    in-place covariance downdate; retry safety is preserved because every
+    recoverable failure raises before the downdate touches ``c`` (see
+    :func:`_fast_steps`).
     """
     retries_enabled = options.jitter > 0
     max_attempts = 1 + (max(0, options.max_retries) if retries_enabled else 0)
@@ -257,7 +291,10 @@ def _update_with_retry(
     for attempt in range(max_attempts):
         reg = 0.0 if attempt == 0 else options.jitter * options.jitter_growth ** (attempt - 1)
         try:
-            x_new, c_new = _attempt_update(x, c, z, h, big_h, r, n, options, reg, injector)
+            x_new, c_new = _attempt_update(
+                x, c, z, h, big_h, r, n, options, reg, injector,
+                support=support, h_s=h_s, c_owned=c_owned,
+            )
         except (NotPositiveDefiniteError, InjectedFaultError) as exc:
             failures.append(
                 RetryAttempt(regularization=reg, error=type(exc).__name__, message=str(exc))
@@ -309,17 +346,25 @@ def _attempt_update(
     options: UpdateOptions,
     regularization: float,
     injector: FaultInjector | None,
+    support: np.ndarray | None = None,
+    h_s: np.ndarray | None = None,
+    c_owned: bool = False,
 ) -> tuple[np.ndarray, np.ndarray]:
     """One full measurement-update attempt; raises rather than commit NaNs."""
     if injector is not None:
         z = injector.maybe_corrupt(z)
-    if options.kernel_impl == "fast":
-        x_new, c_new = _fast_steps(
+    if options.kernel_impl == "reference":
+        # The legacy tier stays pinned to its out-of-place kernels;
+        # ``c_owned`` is advisory and simply unused here.
+        x_new, c_new = _reference_steps(
             x, c, z, h, big_h, r, n, options, regularization, injector
         )
     else:
-        x_new, c_new = _reference_steps(
-            x, c, z, h, big_h, r, n, options, regularization, injector
+        # "fast" and "vector" share the kernel path; the vector tier
+        # additionally hands over its precomputed support restriction.
+        x_new, c_new = _fast_steps(
+            x, c, z, h, big_h, r, n, options, regularization, injector,
+            support=support, h_s=h_s, c_owned=c_owned,
         )
     if injector is not None and (
         not np.all(np.isfinite(x_new)) or not np.all(np.isfinite(c_new))
@@ -377,6 +422,9 @@ def _fast_steps(
     options: UpdateOptions,
     regularization: float,
     injector: FaultInjector | None,
+    support: np.ndarray | None = None,
+    h_s: np.ndarray | None = None,
+    c_owned: bool = False,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Steps 2-6 through the symmetric in-place kernels of :mod:`repro.linalg.fast`.
 
@@ -386,13 +434,20 @@ def _fast_steps(
     only, mirrored — exactly symmetric by construction, so the reference
     path's re-symmetrization pass disappears).  All intermediates live in
     the per-thread workspace arena; the only n×n allocation per attempt
-    is the posterior covariance itself, which must outlive the call.
+    is the posterior covariance itself, which must outlive the call —
+    and with ``c_owned`` even that disappears: the caller has declared
+    the prior covariance dead, so the downdate runs in place on it.
+
+    ``support``/``h_s`` may be supplied by the planned assembler (the
+    ``vector`` tier), skipping the per-attempt support scan and dense
+    restriction below.
     """
     m = z.shape[0]
     ws = get_workspace()
-    support = big_h.column_support()  # the s state columns H touches
+    if support is None:
+        support = big_h.column_support()  # the s state columns H touches
+        h_s = big_h.restrict_columns(support).to_dense()  # (m, s) dense
     s_cols = int(support.size)
-    h_s = big_h.restrict_columns(support).to_dense()  # (m, s) dense restriction
     # Step 2: C⁻Hᵗ. Gathered thin GEMM when the support is sparse relative
     # to the state; dsymm on the full (symmetric) C when it is not.
     if 2 * s_cols >= n:
@@ -423,11 +478,27 @@ def _fast_steps(
         k = trsm_right(lower, np.array(w, order="F"), transpose=False)
         c_new = symmetrize(_joseph_update(c, k, big_h, r, n))
     else:
-        # The posterior escapes the call, so it is the one fresh n×n
-        # allocation.  C-ordered so StructureEstimate takes it without a
-        # relayout copy; its transpose view is Fortran-contiguous and the
-        # downdate is symmetric, so dsyrk can work on the view in place.
-        c_new = np.array(c, dtype=np.float64, order="C")
+        if (
+            c_owned
+            and injector is None
+            and c.dtype == np.float64
+            and c.flags.c_contiguous
+            and c.flags.writeable
+        ):
+            # The prior is a dead intermediate: downdate it in place.
+            # This is the first mutation of ``c`` in the attempt, and
+            # nothing below it can raise, so a Cholesky failure above
+            # still retries from an untouched prior.  An active injector
+            # disables the reuse because its non-finite posterior check
+            # raises *after* this point.
+            c_new = c
+        else:
+            # The posterior escapes the call, so it is the one fresh n×n
+            # allocation.  C-ordered so StructureEstimate takes it
+            # without a relayout copy; its transpose view is
+            # Fortran-contiguous and the downdate is symmetric, so dsyrk
+            # can work on the view in place.
+            c_new = np.array(c, dtype=np.float64, order="C")
         syrk_downdate(c_new.T, w)
     return x_new, c_new
 

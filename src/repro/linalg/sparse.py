@@ -92,6 +92,29 @@ class CSRMatrix:
         return CSRMatrix(vals, cols.astype(np.int64), indptr, shape)
 
     @staticmethod
+    def trusted(
+        data: np.ndarray,
+        indices: np.ndarray,
+        indptr: np.ndarray,
+        shape: tuple[int, int],
+    ) -> "CSRMatrix":
+        """Wrap pre-validated CSR arrays, skipping the ``__post_init__`` checks.
+
+        Hot-path builder for the planned assembler
+        (:mod:`repro.constraints.plan`): the structure is validated once at
+        plan-build time and only ``data`` is rewritten per relinearization,
+        so re-running the O(nnz) invariant checks on every batch would put
+        them back on the path this class exists to keep cheap.  Callers are
+        responsible for structural validity.
+        """
+        mat = object.__new__(CSRMatrix)
+        object.__setattr__(mat, "data", data)
+        object.__setattr__(mat, "indices", indices)
+        object.__setattr__(mat, "indptr", indptr)
+        object.__setattr__(mat, "shape", shape)
+        return mat
+
+    @staticmethod
     def from_dense(a: np.ndarray, tol: float = 0.0) -> "CSRMatrix":
         """Build from a dense array, dropping entries with ``|a| <= tol``."""
         a = np.asarray(a, dtype=np.float64)

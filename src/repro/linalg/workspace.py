@@ -18,13 +18,26 @@ Aliasing rules
   own arena), so the thread-pool executor's concurrent node solves never
   share a buffer.  Worker processes get their own arena per process.
 * Contents are *not* zeroed on reuse; callers overwrite fully.
+
+Besides scratch buffers the arena also caches the compiled
+:class:`~repro.constraints.plan.BatchPlan` sparsity plans of the
+``vector`` kernel tier (:meth:`Workspace.plan_for`), keyed by constraint
+identity so they survive cycles, local iterations and warm session
+re-solves, and are invalidated exactly when a constraint object is
+replaced by an edit.
 """
 
 from __future__ import annotations
 
 import threading
+from collections import OrderedDict
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.constraints.batch import ConstraintBatch
+    from repro.constraints.plan import BatchPlan
 
 __all__ = ["Workspace", "get_workspace"]
 
@@ -36,10 +49,16 @@ class Workspace:
     wrappers in :mod:`repro.linalg.fast` need to work in place.
     """
 
+    #: Upper bound on cached batch plans per arena (LRU eviction beyond).
+    plan_capacity = 1024
+
     def __init__(self) -> None:
         self._buffers: dict[tuple, np.ndarray] = {}
+        self._plans: OrderedDict[tuple, "BatchPlan"] = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.plan_hits = 0
+        self.plan_builds = 0
 
     def take(
         self, name: str, shape: tuple[int, ...], order: str = "F"
@@ -60,13 +79,56 @@ class Workspace:
             self.hits += 1
         return buf
 
+    def plan_for(
+        self,
+        batch: "ConstraintBatch",
+        atom_to_column: np.ndarray | None = None,
+        n_columns: int | None = None,
+    ) -> "BatchPlan":
+        """The cached :class:`BatchPlan` for ``batch``, built on first miss.
+
+        The key is the tuple of the batch's constraint *identities* plus
+        the local column slots its atoms map to (and the Jacobian width):
+        the hierarchical solvers rebuild ``ConstraintBatch`` wrappers every
+        cycle but keep the underlying constraint objects, so plans hit
+        across cycles, local iterations and warm ``SolveSession.resolve()``
+        re-solves; a session edit replaces constraint objects and thereby
+        misses exactly the plans that contained one.  Each cached plan
+        holds strong references to its constraints, so a cached key can
+        never alias a recycled ``id()``.  The cache is LRU-bounded at
+        :attr:`plan_capacity`; ``plan_hits`` / ``plan_builds`` count reuse.
+        """
+        from repro.constraints.plan import BatchPlan  # deferred: import cycle
+
+        if atom_to_column is None:
+            slot_key = None
+        else:
+            slot_key = atom_to_column[batch.atoms()].tobytes()
+        key = (
+            tuple(map(id, batch.constraints)),
+            None if n_columns is None else int(n_columns),
+            slot_key,
+        )
+        plan = self._plans.get(key)
+        if plan is not None:
+            self._plans.move_to_end(key)
+            self.plan_hits += 1
+            return plan
+        plan = BatchPlan(batch, atom_to_column, n_columns)
+        self._plans[key] = plan
+        self.plan_builds += 1
+        while len(self._plans) > self.plan_capacity:
+            self._plans.popitem(last=False)
+        return plan
+
     def nbytes(self) -> int:
-        """Total bytes currently held by the arena."""
+        """Total bytes currently held by the arena's scratch buffers."""
         return sum(b.nbytes for b in self._buffers.values())
 
     def clear(self) -> None:
-        """Drop every cached buffer (frees the memory)."""
+        """Drop every cached buffer and batch plan (frees the memory)."""
         self._buffers.clear()
+        self._plans.clear()
 
 
 _LOCAL = threading.local()

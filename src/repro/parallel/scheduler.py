@@ -103,7 +103,12 @@ def _run_node_task(
     metrics_scope = (
         obs.metrics_scope(registry) if registry is not None else nullcontext()
     )
-    n_batches = 0
+    # Pack once, then reuse each batch's cached dimension for the span's
+    # row attribute instead of re-summing over the raw constraint list.
+    batches = (
+        make_batches(task.constraints, task.batch_size) if task.constraints else []
+    )
+    n_batches = len(batches)
     with trace_scope, metrics_scope:
         with obs.span(
             f"node[{task.nid}]",
@@ -112,16 +117,22 @@ def _run_node_task(
             n_constraints=len(task.constraints),
             batch_size=task.batch_size,
             state_dim=int(estimate.mean.shape[0]),
-            rows=sum(c.dimension for c in task.constraints),
+            rows=sum(b.dimension for b in batches),
             parent_nid=task.parent_nid,
         ), recording(rec), rec.tagged(task.nid), timer:
-            if task.constraints:
-                batches = make_batches(task.constraints, task.batch_size)
-                n_batches = len(batches)
-                for step, batch in enumerate(batches):
-                    estimate = apply_batch(
-                        estimate, batch, task.column_map, task.options, step=step
-                    )
+            # ``step > 0`` estimates are this loop's own intermediates —
+            # never the node prior (which may live in a shared-memory
+            # plane) — so apply_batch may recycle their covariance
+            # buffers in place.
+            for step, batch in enumerate(batches):
+                estimate = apply_batch(
+                    estimate,
+                    batch,
+                    task.column_map,
+                    task.options,
+                    step=step,
+                    consume_estimate=step > 0,
+                )
     payload: dict | None = None
     if tracer is not None or registry is not None:
         payload = {

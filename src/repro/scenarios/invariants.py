@@ -22,6 +22,11 @@ verifies one cross-cutting claim the repository makes:
 ``fast_vs_reference``
     The fast symmetric kernels agree with the reference kernels to
     tight relative tolerance on a full cycle (PR 3's claim).
+``vector_identity``
+    The planned vectorized-assembly tier (``kernel_impl="vector"``,
+    :mod:`repro.constraints.plan`) agrees with the fast tier to the same
+    tight tolerance on a full serial cycle *and* on every requested
+    executor backend.
 ``fault_clean``
     A solve under the scenario's injected fault profile (NaN-poisoned
     kernels, failed factorizations, corrupted observation vectors — all
@@ -66,6 +71,7 @@ FAULT_RTOL = 1e-5
 #: Catalogue order is execution order (cheapest first).
 ALL_CHECKS = (
     "fast_vs_reference",
+    "vector_identity",
     "backend_identity",
     "placement_identity",
     "warm_equals_cold",
@@ -171,6 +177,48 @@ def check_fast_vs_reference(scenario: Scenario, executors=None) -> CheckResult:
         )
     detail = "" if ok else f"max rel err {_max_rel_err(fast, ref):.3e}"
     return CheckResult("fast_vs_reference", ok, timer.elapsed, detail)
+
+
+def check_vector_identity(scenario: Scenario, executors=None) -> CheckResult:
+    """Planned vectorized assembly ≡ fast tier to rtol, on every backend."""
+    from dataclasses import replace
+
+    from repro.core.hierarchy import assign_constraints
+    from repro.parallel.scheduler import ParallelHierarchicalSolver
+
+    timer = Timer()
+    mismatches = []
+    with timer:
+        fast = _serial_cycle(
+            scenario, replace(scenario.options, kernel_impl="fast")
+        ).estimate
+        vector_options = replace(scenario.options, kernel_impl="vector")
+        vec = _serial_cycle(scenario, vector_options).estimate
+        if not (
+            np.allclose(vec.mean, fast.mean, rtol=FAST_RTOL, atol=FAST_ATOL)
+            and np.allclose(
+                vec.covariance, fast.covariance, rtol=FAST_RTOL, atol=FAST_ATOL
+            )
+        ):
+            mismatches.append(f"serial: max rel err {_max_rel_err(vec, fast):.3e}")
+        for name, executor in (executors or {}).items():
+            hierarchy = scenario.fresh_hierarchy()
+            assign_constraints(hierarchy, scenario.problem.constraints)
+            par = ParallelHierarchicalSolver(
+                hierarchy,
+                batch_size=scenario.spec.batch_size,
+                options=vector_options,
+                executor=executor,
+            ).run_cycle(scenario.initial_estimate())
+            # Parallel vector ≡ serial vector bitwise (same kernels, same
+            # order), so comparing against the serial vector run keeps the
+            # backend sweep strict while the tier comparison stays at rtol.
+            if not _bitwise(par.estimate, vec):
+                mismatches.append(
+                    f"{name}: max rel err {_max_rel_err(par.estimate, vec):.3e}"
+                )
+    detail = "; ".join(mismatches) if mismatches else ""
+    return CheckResult("vector_identity", not mismatches, timer.elapsed, detail)
 
 
 def check_backend_identity(scenario: Scenario, executors=None) -> CheckResult:
@@ -353,6 +401,7 @@ def check_streaming(scenario: Scenario, executors=None) -> CheckResult:
 
 CHECK_FUNCTIONS = {
     "fast_vs_reference": check_fast_vs_reference,
+    "vector_identity": check_vector_identity,
     "backend_identity": check_backend_identity,
     "placement_identity": check_placement_identity,
     "warm_equals_cold": check_warm_equals_cold,

@@ -4,7 +4,10 @@ The fast path (``UpdateOptions.kernel_impl="fast"``) must agree with the
 reference kernels to rtol 1e-10 on full solves — helix workloads, random
 SPD problems, every executor backend and both dispatch modes — while its
 building blocks (``symm``, ``trsm_right``, ``syrk_downdate``, the
-workspace arena) each match their NumPy references exactly.
+workspace arena) each match their NumPy references exactly.  The
+``vector`` tier (planned assembly feeding the same fast kernels) joins a
+three-way harness: vector ≡ fast ≡ reference to the same tolerances,
+plus plan-cache reuse counters.
 """
 
 import threading
@@ -15,7 +18,14 @@ import pytest
 from repro.core.hier_solver import HierarchicalSolver
 from repro.core.state import StructureEstimate
 from repro.core.update import KERNEL_IMPLS, UpdateOptions, apply_batch
-from repro.constraints import DistanceConstraint, LinearConstraint, PositionConstraint
+from repro.constraints import (
+    AngleConstraint,
+    DistanceBoundConstraint,
+    DistanceConstraint,
+    LinearConstraint,
+    PositionConstraint,
+    TorsionConstraint,
+)
 from repro.constraints.batch import make_batches
 from repro.errors import DimensionError
 from repro.linalg import (
@@ -263,7 +273,7 @@ class TestFastMatchesReference:
             apply_batch(
                 square_estimate, batch, options=UpdateOptions(kernel_impl="wat")
             )
-        assert KERNEL_IMPLS == ("fast", "reference")
+        assert KERNEL_IMPLS == ("fast", "reference", "vector")
 
     @pytest.mark.parametrize("seed", [0, 1, 2])
     def test_random_spd_problems(self, seed):
@@ -364,6 +374,188 @@ class TestFastMatchesReference:
         if impl == "reference":
             # same kernels, same order: bitwise, not just close
             assert np.array_equal(par.estimate.mean, ref.estimate.mean)
+
+def _mixed_problem(rng, p=8):
+    """A chain touching every group-protocol type plus scalar fallbacks."""
+    coords = rng.normal(0, 2, (p, 3))
+    constraints = [PositionConstraint(0, coords[0], 0.02)]
+    for i in range(p - 1):
+        d = float(np.linalg.norm(coords[i] - coords[i + 1]))
+        constraints.append(DistanceConstraint(i, i + 1, d, 0.05))
+    for i in range(p - 2):
+        u = coords[i] - coords[i + 1]
+        v = coords[i + 2] - coords[i + 1]
+        ang = float(
+            np.arccos(
+                np.clip(u @ v / (np.linalg.norm(u) * np.linalg.norm(v)), -1, 1)
+            )
+        )
+        constraints.append(AngleConstraint(i, i + 1, i + 2, ang, 0.05))
+    for i in range(p - 3):
+        constraints.append(TorsionConstraint(i, i + 1, i + 2, i + 3, 0.3, 0.1))
+    constraints.append(DistanceBoundConstraint(0, p - 1, 1.0, None, 0.2))
+    constraints.append(DistanceBoundConstraint(1, p - 2, None, 2.0, 0.2))
+    grp = (2, 4)
+    a = rng.normal(0, 1, (2, 6))
+    constraints.append(
+        LinearConstraint(grp, a, a @ coords[list(grp)].ravel(), np.array([0.1, 0.1]))
+    )
+    cov = _spd(rng, 3 * p)
+    estimate = StructureEstimate(
+        (coords + rng.normal(0, 0.2, coords.shape)).ravel(), cov
+    )
+    return estimate, constraints
+
+
+class TestVectorMatchesFastAndReference:
+    """Three-way harness: planned assembly must change nothing but time."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_spd_problems(self, seed):
+        rng = np.random.default_rng(seed)
+        estimate, constraints = _random_problem(rng)
+        ref = _run_flat(estimate, constraints, "reference")
+        fast = _run_flat(estimate, constraints, "fast")
+        vec = _run_flat(estimate, constraints, "vector")
+        for other in (ref, fast):
+            assert np.allclose(vec.mean, other.mean, rtol=RTOL, atol=ATOL)
+            assert np.allclose(
+                vec.covariance, other.covariance, rtol=RTOL, atol=ATOL
+            )
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_mixed_constraint_types(self, seed):
+        rng = np.random.default_rng(seed)
+        estimate, constraints = _mixed_problem(rng)
+        ref = _run_flat(estimate, constraints, "reference")
+        vec = _run_flat(estimate, constraints, "vector")
+        assert np.allclose(vec.mean, ref.mean, rtol=RTOL, atol=ATOL)
+        assert np.allclose(vec.covariance, ref.covariance, rtol=RTOL, atol=ATOL)
+
+    def test_joseph_branch(self, rng):
+        estimate, constraints = _random_problem(rng)
+        fast = _run_flat(estimate, constraints, "fast", joseph=True)
+        vec = _run_flat(estimate, constraints, "vector", joseph=True)
+        assert np.allclose(vec.covariance, fast.covariance, rtol=RTOL, atol=ATOL)
+
+    def test_local_iterations_relinearize_through_the_plan(self, rng):
+        estimate, constraints = _random_problem(rng)
+        fast = _run_flat(estimate, constraints, "fast", local_iterations=3)
+        vec = _run_flat(estimate, constraints, "vector", local_iterations=3)
+        assert np.allclose(vec.mean, fast.mean, rtol=RTOL, atol=ATOL)
+
+    def test_vector_posterior_does_not_alias_workspace(self, rng):
+        estimate, constraints = _random_problem(rng)
+        batches = make_batches(constraints, 8)
+        opts = UpdateOptions(kernel_impl="vector")
+        first = apply_batch(estimate, batches[0], options=opts)
+        snapshot = first.covariance.copy()
+        apply_batch(first, batches[1], options=opts)
+        assert (first.covariance == snapshot).all()
+
+    def test_plan_cache_reused_across_solves(self, rng):
+        """Re-solving the same constraints must hit, not rebuild, plans."""
+        estimate, constraints = _random_problem(rng)
+        ws = get_workspace()
+        ws.clear()
+        ws.plan_builds = ws.plan_hits = 0
+        _run_flat(estimate, constraints, "vector")
+        builds = ws.plan_builds
+        assert builds == len(make_batches(constraints, 8))
+        assert ws.plan_hits == 0
+        _run_flat(estimate, constraints, "vector")
+        assert ws.plan_builds == builds
+        assert ws.plan_hits == builds
+
+    def test_helix_hierarchical_solve(self, helix2_problem):
+        est = helix2_problem.initial_estimate(0)
+        ref = HierarchicalSolver(
+            helix2_problem.hierarchy,
+            batch_size=16,
+            options=UpdateOptions(kernel_impl="reference"),
+        ).run_cycle(est)
+        vec = HierarchicalSolver(
+            helix2_problem.hierarchy,
+            batch_size=16,
+            options=UpdateOptions(kernel_impl="vector"),
+        ).run_cycle(est)
+        assert np.allclose(
+            vec.estimate.mean, ref.estimate.mean, rtol=RTOL, atol=SOLVE_ATOL
+        )
+        assert np.allclose(
+            vec.estimate.covariance,
+            ref.estimate.covariance,
+            rtol=RTOL,
+            atol=SOLVE_ATOL,
+        )
+
+    @pytest.mark.parametrize("seed", [0, 3, 7])
+    def test_fuzzed_vector_identity(self, seed):
+        from repro.scenarios import generate_scenario
+        from repro.scenarios.invariants import check_vector_identity
+
+        result = check_vector_identity(generate_scenario(seed))
+        assert result.ok, result.detail
+
+
+class TestConsumeEstimate:
+    """``consume_estimate`` recycles dead intermediates bitwise-identically.
+
+    Solver batch loops pass ``consume_estimate=True`` for their own
+    intermediates so the covariance downdate runs in place instead of
+    copying the full n×n prior first.  The arithmetic is the same dsyrk
+    on the same values, so the posterior must be bitwise equal to the
+    copying path — and the flag must stay advisory for the pinned
+    reference tier.
+    """
+
+    @pytest.mark.parametrize("impl", ["fast", "vector"])
+    def test_consumed_chain_bitwise_equals_copying_chain(self, rng, impl):
+        estimate, constraints = _random_problem(rng)
+        batches = make_batches(constraints, 8)
+        opts = UpdateOptions(kernel_impl=impl)
+        mid_a = apply_batch(estimate, batches[0], options=opts)
+        out_a = apply_batch(mid_a, batches[1], options=opts)
+        mid_b = apply_batch(estimate, batches[0], options=opts)
+        out_b = apply_batch(
+            mid_b, batches[1], options=opts, consume_estimate=True
+        )
+        assert (out_a.mean == out_b.mean).all()
+        assert (out_a.covariance == out_b.covariance).all()
+        # The consumed intermediate's buffer was recycled as the posterior.
+        assert out_b.covariance is mid_b.covariance
+
+    def test_reference_tier_ignores_the_flag(self, rng):
+        estimate, constraints = _random_problem(rng)
+        batches = make_batches(constraints, 8)
+        opts = UpdateOptions(kernel_impl="reference")
+        mid = apply_batch(estimate, batches[0], options=opts)
+        snapshot = mid.covariance.copy()
+        out = apply_batch(mid, batches[1], options=opts, consume_estimate=True)
+        assert (mid.covariance == snapshot).all()
+        assert out.covariance is not mid.covariance
+
+    @pytest.mark.parametrize("impl", ["fast", "vector"])
+    def test_default_still_preserves_the_input(self, rng, impl):
+        estimate, constraints = _random_problem(rng)
+        batches = make_batches(constraints, 8)
+        opts = UpdateOptions(kernel_impl=impl)
+        mid = apply_batch(estimate, batches[0], options=opts)
+        snapshot = mid.covariance.copy()
+        apply_batch(mid, batches[1], options=opts)
+        assert (mid.covariance == snapshot).all()
+
+    @pytest.mark.parametrize("impl", ["fast", "vector"])
+    def test_local_iterations_consume_their_own_intermediates(self, rng, impl):
+        """Iterations ≥2 own the running covariance even without the flag."""
+        estimate, constraints = _random_problem(rng)
+        batches = make_batches(constraints, 8)
+        one = UpdateOptions(kernel_impl=impl, local_iterations=3)
+        snapshot = estimate.covariance.copy()
+        out = apply_batch(estimate, batches[0], options=one)
+        assert (estimate.covariance == snapshot).all()
+        assert np.all(np.isfinite(out.covariance))
+
 
 class TestFastMatchesReferenceFuzzShapes:
     """Fast-vs-reference agreement over fuzzer-generated shapes.

@@ -56,3 +56,16 @@ class TestOrderConstraints:
 
     def test_strategy_list_complete(self):
         assert set(STRATEGIES) == {"given", "random", "locality", "anti-locality"}
+
+    @pytest.mark.parametrize("strategy", ["given", "random", "locality"])
+    def test_batching_preserves_strategy_order(self, helix2_problem, strategy):
+        """The ordering ablation feeds ordered lists straight into
+        make_batches; its default must stay order-preserving (the opt-in
+        ``group_by_type=True`` regrouping would silently undo the study's
+        independent variable)."""
+        from repro.constraints.batch import make_batches
+
+        p = helix2_problem
+        ordered = order_constraints(p.constraints, strategy, p.hierarchy, seed=3)
+        flat = [c for b in make_batches(ordered, 16) for c in b.constraints]
+        assert list(map(id, flat)) == list(map(id, ordered))
