@@ -339,6 +339,48 @@ def _export_obs(obs_dir: str, seed: int) -> None:
     print(f"wrote obs artifacts to {out}")
 
 
+def _environment(snapshotter=None, wall_seconds: float | None = None) -> dict:
+    """Host + live-plane self-cost block stamped into the report.
+
+    With ``--heartbeat`` the snapshotter's own seconds are recorded and
+    gated at <1% of the suite's wall time — the live plane must stay
+    effectively free on the benchmark path.
+    """
+    import platform
+
+    env = {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+    }
+    if snapshotter is not None and wall_seconds:
+        env["snapshotter"] = {
+            "beats": snapshotter.beats,
+            "overhead_seconds": snapshotter.overhead_seconds,
+            "wall_seconds": wall_seconds,
+            "overhead_pct": 100.0 * snapshotter.overhead_seconds / wall_seconds,
+        }
+    return env
+
+
+def _check_snapshotter_overhead(env: dict) -> int:
+    stats = env.get("snapshotter")
+    if not stats:
+        return 0
+    pct = stats["overhead_pct"]
+    print(
+        f"snapshotter overhead: {stats['overhead_seconds'] * 1e3:.2f} ms over "
+        f"{stats['wall_seconds']:.2f}s wall ({pct:.3f}%, {stats['beats']} beats)"
+    )
+    if pct >= 1.0:
+        print(
+            f"live-plane gate FAILED: snapshotter cost {pct:.2f}% >= 1% of wall",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--out", default="BENCH_hotpath.json")
@@ -409,21 +451,45 @@ def main(argv=None) -> int:
         "with work-stealing (see benchmarks/bench_placement.py for the "
         "dedicated before/after comparison)",
     )
+    ap.add_argument(
+        "--heartbeat",
+        default=None,
+        metavar="PATH[:SECS]",
+        help="stream live metrics snapshots to this heartbeat JSONL while "
+        "the suite runs ('repro obs top' renders it); the snapshotter's "
+        "own cost lands in the report's environment block and is gated "
+        "at <1%% of wall",
+    )
     args = ap.parse_args(argv)
 
     problems = ["helix"] if args.quick else args.problems
     backends = ["serial"] if args.quick else args.backends
     repeats = 1 if args.quick else args.repeats
 
-    results = run_suite(
-        problems,
-        backends,
-        repeats,
-        args.workers,
-        args.seed,
-        args.placement,
-        impls=args.impls,
-    )
+    import contextlib
+
+    snapshotter = None
+    wall0 = time.perf_counter()
+    with contextlib.ExitStack() as live:
+        if args.heartbeat:
+            from repro import obs
+
+            path, period = obs.parse_heartbeat_spec(args.heartbeat)
+            registry = obs.MetricsRegistry()
+            live.enter_context(obs.metrics_scope(registry))
+            snapshotter = live.enter_context(
+                obs.TelemetrySnapshotter(registry, path, period=period)
+            )
+        results = run_suite(
+            problems,
+            backends,
+            repeats,
+            args.workers,
+            args.seed,
+            args.placement,
+            impls=args.impls,
+        )
+    wall_seconds = time.perf_counter() - wall0
     if args.obs_dir:
         _export_obs(args.obs_dir, args.seed)
     report = {
@@ -437,6 +503,7 @@ def main(argv=None) -> int:
         "seed": args.seed,
         "placement": args.placement,
         "kernel_impls": list(args.impls),
+        "environment": _environment(snapshotter, wall_seconds),
         "results": results,
         "fast_over_reference_speedup": _ratio_table(results, "reference", "fast"),
         "vector_over_fast_speedup": _ratio_table(results, "fast", "vector"),
@@ -458,6 +525,7 @@ def main(argv=None) -> int:
         rc |= _check_regression(report, args.check_against, args.max_regression)
     if args.min_vector_speedup is not None:
         rc |= _check_vector_speedup(report, args.min_vector_speedup)
+    rc |= _check_snapshotter_overhead(report["environment"])
     return rc
 
 

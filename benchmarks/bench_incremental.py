@@ -271,15 +271,42 @@ def main(argv=None) -> int:
         help="route the session's parallel dispatch through cost-packed "
         "lane queues with work-stealing (no effect on the serial backend)",
     )
+    ap.add_argument(
+        "--heartbeat",
+        default=None,
+        metavar="PATH[:SECS]",
+        help="stream live metrics snapshots to this heartbeat JSONL while "
+        "the suite runs ('repro obs top' renders it); the snapshotter's "
+        "own cost lands in the report's environment block and is gated "
+        "at <1%% of wall",
+    )
     args = ap.parse_args(argv)
 
     problems = ["helix"] if args.quick else args.problems
     backends = ["serial"] if args.quick else args.backends
     cycles = 4 if args.quick else args.cycles
 
-    results = run_suite(
-        problems, backends, cycles, args.workers, args.seed, args.placement
-    )
+    import contextlib
+
+    # Shared with the hot-path bench: environment block + <1%-of-wall gate.
+    from bench_hotpath import _check_snapshotter_overhead, _environment
+
+    snapshotter = None
+    wall0 = time.perf_counter()
+    with contextlib.ExitStack() as live:
+        if args.heartbeat:
+            from repro import obs
+
+            path, period = obs.parse_heartbeat_spec(args.heartbeat)
+            registry = obs.MetricsRegistry()
+            live.enter_context(obs.metrics_scope(registry))
+            snapshotter = live.enter_context(
+                obs.TelemetrySnapshotter(registry, path, period=period)
+            )
+        results = run_suite(
+            problems, backends, cycles, args.workers, args.seed, args.placement
+        )
+    wall_seconds = time.perf_counter() - wall0
     if args.obs_dir:
         _export_obs(args.obs_dir, cycles, args.seed)
     report = {
@@ -293,6 +320,7 @@ def main(argv=None) -> int:
         "workers": args.workers,
         "seed": args.seed,
         "placement": args.placement,
+        "environment": _environment(snapshotter, wall_seconds),
         "results": results,
     }
     with open(args.out, "w") as fh:
@@ -300,9 +328,10 @@ def main(argv=None) -> int:
         fh.write("\n")
     print(f"wrote {args.out}")
 
+    rc = _check_snapshotter_overhead(report["environment"])
     if args.quick or args.check_against:
-        return _gate(report, args.check_against, args.min_speedup)
-    return 0
+        rc |= _gate(report, args.check_against, args.min_speedup)
+    return rc
 
 
 if __name__ == "__main__":

@@ -14,6 +14,9 @@ Usage::
     python -m repro resolve --session-dir sess/ --add dist:3:40:5.2:0.01 \
         --out warm.npz
     python -m repro simulate helix8.npz --machine dash --processors 1,2,4,8
+    python -m repro solve helix8.npz --heartbeat hb.jsonl:0.5 \
+        --flight-dir flights/
+    python -m repro obs top hb.jsonl --once --slo cycle.seconds:2.0:0.95
     python -m repro obs doctor trace.jsonl --problem helix8.npz
     python -m repro obs critical-path trace.jsonl
     python -m repro obs regress --out regress.json
@@ -31,6 +34,13 @@ reproducing seed (``--minimize`` shrinks the spec first);
 machine (Tables 3-6 style); the ``obs`` family analyzes recorded traces
 post-hoc (critical path, worker utilization, Equation-1 drift) and diffs
 fresh benchmark figures against the committed baselines.
+
+The *live* telemetry plane rides along with any solve: ``--heartbeat
+PATH[:SECS]`` streams metrics snapshots to a JSONL file that ``repro obs
+top`` renders while the run is still going, and ``--flight-dir DIR``
+lets the always-on flight recorder write forensic event dumps when a
+terminal batch failure, quarantine, resubmission or pool rebuild fires
+(see docs/observability.md).
 """
 
 from __future__ import annotations
@@ -158,11 +168,49 @@ def _parse_constraint_spec(spec: str):
     return DistanceConstraint(i, j, d, var)
 
 
+def _enter_live_plane(stack, args, tracer=None, registry=None):
+    """Activate the always-on flight recorder and optional heartbeat export.
+
+    The recorder records unconditionally into its bounded ring; it writes
+    forensic dump artifacts only when ``--flight-dir`` names a directory
+    (worker-side triggers still ship home and fire here either way).
+    ``--heartbeat PATH[:SECS]`` additionally starts a
+    :class:`~repro.obs.TelemetrySnapshotter`; the caller must then pass
+    the registry it has already placed in scope.  Returns the recorder so
+    the caller can report any dumps written.
+    """
+    from repro import obs
+
+    recorder = obs.FlightRecorder(dump_dir=getattr(args, "flight_dir", None))
+    stack.enter_context(obs.flight_recording(recorder))
+    heartbeat = getattr(args, "heartbeat", None)
+    if heartbeat:
+        try:
+            path, period = obs.parse_heartbeat_spec(heartbeat)
+        except ValueError as exc:
+            raise SystemExit(f"--heartbeat: {exc}") from exc
+        stack.enter_context(
+            obs.TelemetrySnapshotter(
+                registry, path, period=period, tracer=tracer, recorder=recorder
+            )
+        )
+    return recorder
+
+
+def _report_flight_dumps(recorder) -> None:
+    for path in getattr(recorder, "dumps", []):
+        print(f"wrote flight dump to {path}")
+
+
 def _cmd_session_solve(args: argparse.Namespace, problem) -> int:
     """``solve --session-dir``: bootstrap a warm re-solve session."""
+    import contextlib
+
     from repro import io as rio
+    from repro import obs
     from repro.core.session import SolveSession
     from repro.core.update import UpdateOptions
+    from repro.faults import FaultConfig, FaultInjector, fault_injection
 
     if args.anneal:
         raise SystemExit("--session-dir does not support --anneal "
@@ -170,22 +218,47 @@ def _cmd_session_solve(args: argparse.Namespace, problem) -> int:
     if args.checkpoint_dir:
         raise SystemExit("--session-dir and --checkpoint-dir are exclusive; "
                          "sessions persist through the session directory")
+    injector = None
+    fault_scope = contextlib.nullcontext()
+    if args.faults:
+        try:
+            injector = FaultInjector(FaultConfig.parse(args.faults))
+        except ValueError as exc:
+            raise SystemExit(f"--faults: {exc}") from exc
+        fault_scope = fault_injection(injector)
+    tracer = obs.Tracer() if args.trace else None
+    registry = (
+        obs.MetricsRegistry()
+        if (args.metrics_out or args.heartbeat)
+        else None
+    )
     executor = _make_executor(args.backend, args.workers)
     try:
-        with SolveSession(
-            problem.hierarchy,
-            problem.constraints,
-            batch_size=args.batch,
-            options=UpdateOptions(
-                local_iterations=args.local_iterations,
-                max_retries=args.max_retries,
-                kernel_impl=args.kernel_impl,
-                schedule=_parse_batch_anneal(args.batch_anneal),
-            ),
-            executor=executor,
-            placement=_make_placement(args),
-            store=args.session_dir,
-        ) as session:
+        with contextlib.ExitStack() as stack:
+            stack.enter_context(fault_scope)
+            if registry is not None:
+                stack.enter_context(obs.metrics_scope(registry))
+            recorder = _enter_live_plane(
+                stack, args, tracer=tracer, registry=registry
+            )
+            if tracer is not None:
+                stack.enter_context(obs.tracing(tracer))
+            session = stack.enter_context(
+                SolveSession(
+                    problem.hierarchy,
+                    problem.constraints,
+                    batch_size=args.batch,
+                    options=UpdateOptions(
+                        local_iterations=args.local_iterations,
+                        max_retries=args.max_retries,
+                        kernel_impl=args.kernel_impl,
+                        schedule=_parse_batch_anneal(args.batch_anneal),
+                    ),
+                    executor=executor,
+                    placement=_make_placement(args),
+                    store=args.session_dir,
+                )
+            )
             report = session.solve(
                 problem.initial_estimate(args.seed),
                 max_cycles=args.cycles,
@@ -203,20 +276,48 @@ def _cmd_session_solve(args: argparse.Namespace, problem) -> int:
     finally:
         if executor is not None:
             executor.close()
+    if injector is not None:
+        injected = {
+            ch: c["injected"] for ch, c in injector.summary().items() if c["injected"]
+        }
+        print(f"injected faults: {injected if injected else 'none'}")
+    if args.trace and tracer is not None:
+        if str(args.trace).endswith(".jsonl"):
+            obs.write_spans_jsonl(tracer, args.trace)
+        else:
+            obs.write_chrome_trace(tracer, args.trace)
+        print(f"wrote trace to {args.trace}")
+    if args.metrics_out and registry is not None:
+        obs.write_metrics_json(
+            registry, args.metrics_out, extra={"problem": problem.name}
+        )
+        print(f"wrote metrics to {args.metrics_out}")
+    _report_flight_dumps(recorder)
     return 0
 
 
 def _cmd_resolve(args: argparse.Namespace) -> int:
     """Warm incremental re-solve against a saved session directory."""
+    import contextlib
+
     from repro import io as rio
+    from repro import obs
     from repro.core.session import SolveSession
 
+    registry = obs.MetricsRegistry() if args.heartbeat else None
     executor = _make_executor(args.backend, args.workers)
     try:
-        session = SolveSession.load(
-            args.session_dir, executor=executor, placement=_make_placement(args)
-        )
-        try:
+        stack = contextlib.ExitStack()
+        with stack:
+            if registry is not None:
+                stack.enter_context(obs.metrics_scope(registry))
+            recorder = _enter_live_plane(stack, args, registry=registry)
+            session = SolveSession.load(
+                args.session_dir,
+                executor=executor,
+                placement=_make_placement(args),
+            )
+            stack.callback(session.close)
             if session.dirty_nids:
                 print(
                     f"resuming interrupted re-solve: "
@@ -240,11 +341,10 @@ def _cmd_resolve(args: argparse.Namespace) -> int:
             if args.out:
                 rio.save_estimate(args.out, result.estimate)
                 print(f"wrote estimate to {args.out}")
-        finally:
-            session.close()
     finally:
         if executor is not None:
             executor.close()
+    _report_flight_dumps(recorder)
     return 0
 
 
@@ -287,7 +387,9 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         scope = fault_injection(injector)
     tracer = obs.Tracer() if (args.trace or args.obs_summary) else None
     registry = (
-        obs.MetricsRegistry() if (args.metrics_out or args.obs_summary) else None
+        obs.MetricsRegistry()
+        if (args.metrics_out or args.obs_summary or args.heartbeat)
+        else None
     )
     with contextlib.ExitStack() as stack:
         stack.enter_context(scope)
@@ -295,6 +397,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         # tracer's self-cost gauge into the still-active metrics scope.
         if registry is not None:
             stack.enter_context(obs.metrics_scope(registry))
+        recorder = _enter_live_plane(stack, args, tracer=tracer, registry=registry)
         if tracer is not None:
             stack.enter_context(obs.tracing(tracer))
         solution = estimator.solve(
@@ -338,6 +441,7 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     if args.obs_summary and tracer is not None and registry is not None:
         print()
         print(obs.format_obs_summary(tracer, registry))
+    _report_flight_dumps(recorder)
     if args.out:
         rio.save_estimate(args.out, solution.estimate)
         print(f"wrote estimate to {args.out}")
@@ -564,6 +668,46 @@ def _cmd_obs_plan(args: argparse.Namespace) -> int:
     return 1 if drifted else 0
 
 
+def _cmd_obs_top(args: argparse.Namespace) -> int:
+    """Terminal view of a heartbeat file; --once renders one frame (CI)."""
+    import time
+    from pathlib import Path
+
+    from repro import obs
+
+    slo = None
+    if args.slo:
+        try:
+            slo = obs.SLOSpec.parse(args.slo)
+        except ValueError as exc:
+            raise SystemExit(f"--slo: {exc}") from exc
+    path = Path(args.heartbeat)
+
+    def frame() -> tuple[str, int]:
+        if not path.exists():
+            return f"waiting for heartbeat file {path} ...", 0
+        meta, rows = obs.read_heartbeats(path)
+        view = obs.render_top(meta, rows, slo=slo, window=args.window, path=path)
+        return view, len(rows)
+
+    if args.once:
+        view, beats = frame()
+        print(view)
+        if not beats:
+            print("error: no heartbeat rows found", file=sys.stderr)
+            return 1
+        return 0
+    try:
+        while True:
+            view, _ = frame()
+            # Clear screen + home, like top(1); plain reprint elsewhere.
+            prefix = "\x1b[2J\x1b[H" if sys.stdout.isatty() else ""
+            print(prefix + view, flush=True)
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
 def _cmd_fuzz(args: argparse.Namespace) -> int:
     """Sweep seeded scenarios through the conformance harness."""
     import json
@@ -598,6 +742,18 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
     deadline = (
         time.monotonic() + args.time_budget if args.time_budget else None
     )
+    # The sweep runs under the live plane: the flight recorder rides along
+    # (the bit-identity checks must hold with it enabled) and --heartbeat
+    # streams sweep-wide metrics for 'repro obs top'.
+    import contextlib
+
+    from repro import obs
+
+    live = contextlib.ExitStack()
+    registry = obs.MetricsRegistry() if args.heartbeat else None
+    if registry is not None:
+        live.enter_context(obs.metrics_scope(registry))
+    _enter_live_plane(live, args, registry=registry)
     reports = []
     failing = []
     ran = 0
@@ -660,6 +816,7 @@ def _cmd_fuzz(args: argparse.Namespace) -> int:
                     entry.pop("minimized_spec")
             artifacts.append(entry)
     finally:
+        live.close()
         for executor in executors.values():
             executor.close()
     # Streaming metrics roll-up over the sweep (reported, not asserted).
@@ -847,6 +1004,21 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the per-category kernel and span summary after solving",
     )
+    solve.add_argument(
+        "--heartbeat",
+        default=None,
+        metavar="PATH[:SECS]",
+        help="append live metrics snapshots to this heartbeat JSONL every "
+        "SECS seconds (default 1.0); watch it with 'repro obs top'",
+    )
+    solve.add_argument(
+        "--flight-dir",
+        default=None,
+        metavar="DIR",
+        help="directory for flight-recorder forensic dumps: the bounded "
+        "event ring is written here when a terminal batch failure, "
+        "quarantine, task resubmission or pool rebuild fires",
+    )
     solve.set_defaults(fn=_cmd_solve)
 
     resolve = sub.add_parser(
@@ -900,6 +1072,20 @@ def build_parser() -> argparse.ArgumentParser:
         "the packing (implies --placement model)",
     )
     resolve.add_argument("--out", default=None)
+    resolve.add_argument(
+        "--heartbeat",
+        default=None,
+        metavar="PATH[:SECS]",
+        help="append live metrics snapshots to this heartbeat JSONL "
+        "(see 'solve --heartbeat')",
+    )
+    resolve.add_argument(
+        "--flight-dir",
+        default=None,
+        metavar="DIR",
+        help="directory for flight-recorder forensic dumps "
+        "(see 'solve --flight-dir')",
+    )
     resolve.set_defaults(fn=_cmd_resolve)
 
     fuzz = sub.add_parser(
@@ -949,6 +1135,13 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument(
         "--out", default=None, help="write the full sweep report as JSON"
     )
+    fuzz.add_argument(
+        "--heartbeat",
+        default=None,
+        metavar="PATH[:SECS]",
+        help="append live sweep metrics to this heartbeat JSONL "
+        "(see 'solve --heartbeat')",
+    )
     fuzz.set_defaults(fn=_cmd_fuzz)
 
     sim = sub.add_parser("simulate", help="price a cycle on a modeled machine")
@@ -963,6 +1156,39 @@ def build_parser() -> argparse.ArgumentParser:
         "obs", help="post-hoc trace analytics and benchmark regression gates"
     )
     obs_sub = obs_cmd.add_subparsers(dest="obs_command", required=True)
+
+    top = obs_sub.add_parser(
+        "top",
+        help="live terminal view of a heartbeat file: lane busy%, "
+        "p50/p99, SLO burn rate, per-session series",
+    )
+    top.add_argument(
+        "heartbeat", help="heartbeat JSONL from 'solve --heartbeat'"
+    )
+    top.add_argument(
+        "--once",
+        action="store_true",
+        help="render a single frame and exit (exit 1 if no beats yet)",
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="refresh period in seconds (follow mode)",
+    )
+    top.add_argument(
+        "--window",
+        type=int,
+        default=5,
+        help="beats in the rolling busy-rate / SLO window",
+    )
+    top.add_argument(
+        "--slo",
+        default=None,
+        metavar="METRIC:TARGET[:OBJECTIVE]",
+        help="latency SLO to assess, e.g. 'cycle.seconds:2.0:0.95'",
+    )
+    top.set_defaults(fn=_cmd_obs_top)
 
     doctor = obs_sub.add_parser(
         "doctor",

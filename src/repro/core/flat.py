@@ -117,6 +117,7 @@ class FlatSolver:
                                 )
                             )
         obs.inc("solve.cycles")
+        obs.observe_latency("cycle.seconds", timer.elapsed)
         return FlatCycleResult(
             current,
             timer.elapsed,

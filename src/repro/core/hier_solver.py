@@ -221,6 +221,7 @@ class HierarchicalSolver:
                     if cache is not None:
                         cache.store(node.nid, node_results[node.nid])
         obs.inc("solve.cycles")
+        obs.observe_latency("cycle.seconds", total_timer.elapsed)
         root = self.hierarchy.root
         final = estimate.copy()
         root_posterior = node_results.get(root.nid)

@@ -44,6 +44,7 @@ such a node's generation tag still predates the staged re-solve.
 
 from __future__ import annotations
 
+import itertools
 from bisect import insort
 from dataclasses import dataclass
 from pathlib import Path
@@ -186,7 +187,17 @@ class SolveSession:
         for crash-resumable persistence.  A fresh session *clears* any
         prior contents of the directory; use :meth:`SolveSession.load`
         to resume one instead.
+    session_id / labels:
+        Metric identity.  ``session_id`` defaults to a process-unique
+        ``s<N>``; the session publishes labeled per-session series
+        (``session.solves{session=...}`` etc.) combining the id, the
+        backend and the kernel implementation with any extra ``labels``
+        (e.g. ``{"tenant": ...}``) — the per-tenant accounting hook the
+        solve-as-a-service layer builds on.
     """
+
+    #: Process-wide allocator behind the default ``s<N>`` session ids.
+    _session_ids = itertools.count()
 
     def __init__(
         self,
@@ -200,12 +211,27 @@ class SolveSession:
         shared_memory: bool | None = None,
         placement=None,
         store: "SessionStore | str | Path | None" = None,
+        session_id: str | None = None,
+        labels: "dict | None" = None,
         _clear_store: bool = True,
     ):
         self.hierarchy = hierarchy
         self.batch_size = int(batch_size)
         self.options = options
         self.store = self._coerce_store(store)
+        # Per-session metric identity: every series the session (and the
+        # workers it dispatches) publishes carries these labels, which is
+        # what gives a multi-session process per-tenant accounting.
+        if session_id is None:
+            session_id = f"s{next(SolveSession._session_ids)}"
+        self.session_id = session_id
+        self.labels = {
+            "session": session_id,
+            "backend": type(executor).__name__ if executor is not None else "serial",
+            "kernel_impl": options.kernel_impl,
+        }
+        if labels:
+            self.labels.update(labels)
         if self.store is not None and _clear_store:
             self.store.clear()
         self._constraints: dict[int, Constraint] = {}
@@ -246,6 +272,7 @@ class SolveSession:
                 shared_memory=shared_memory,
                 plane=self._plane,
                 placement=placement,
+                labels=self.labels,
             )
         self.cache = _SessionCache(self, plane=self._plane)
         if constraints:
@@ -443,6 +470,7 @@ class SolveSession:
         self._last_estimate = current
         self._dirty.clear()
         obs.inc("session.solves")
+        obs.inc("session.solves", labels=self.labels)
         if self.store is not None:
             self._persist_all()
         return ConvergenceReport(current, len(deltas), deltas, converged=converged)
@@ -501,8 +529,10 @@ class SolveSession:
         if self.store is not None:
             self._persist_manifest(staged=None)
         obs.inc("session.resolves")
+        obs.inc("session.resolves", labels=self.labels)
         obs.inc("session.dirty_nodes", len(dirty))
         obs.inc("session.clean_nodes", len(self.hierarchy.nodes) - len(dirty))
+        obs.observe_latency("resolve.seconds", timer.elapsed)
         return SessionResolveResult(
             estimate=result.estimate,
             seconds=timer.elapsed,
@@ -569,6 +599,8 @@ class SolveSession:
         dispatch: str = "dependency",
         shared_memory: bool | None = None,
         placement=None,
+        session_id: str | None = None,
+        labels: "dict | None" = None,
     ) -> "SolveSession":
         """Rebuild a session from a :class:`SessionStore` directory.
 
@@ -604,6 +636,8 @@ class SolveSession:
             shared_memory=shared_memory,
             placement=placement,
             store=store,
+            session_id=session_id,
+            labels=labels,
             _clear_store=False,
         )
         for cid, owner, enc in manifest["constraints"]:

@@ -326,7 +326,12 @@ def _update_with_retry(
     )
     if retry_log is not None:
         retry_log.append(report)
-    obs.instant("update.batch_failed", cat="fault", attempts=max_attempts)
+    obs.instant(
+        "update.batch_failed",
+        cat="fault",
+        attempts=max_attempts,
+        error=failures[-1].error,
+    )
     obs.inc("update.batch_failures")
     raise BatchUpdateError(
         f"batch update failed terminally after {max_attempts} attempts "

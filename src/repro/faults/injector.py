@@ -129,7 +129,7 @@ class FaultInjector:
         self.draws = {ch: 0 for ch in CHANNELS}
 
     # ------------------------------------------------------------- drawing
-    def _hit(self, channel: str) -> bool:
+    def _hit(self, channel: str, site: str | None = None) -> bool:
         p = getattr(self.config, f"{channel}_p")
         if p <= 0.0:
             return False
@@ -137,14 +137,20 @@ class FaultInjector:
         hit = bool(self._rngs[channel].random() < p)
         if hit:
             self.injected[channel] += 1
-            obs.instant("fault.injected", cat="fault", channel=channel)
+            # ``site`` names where the fault landed (kernel, cholesky,
+            # batch...) so the flight recorder's ring carries enough
+            # forensic context without cross-referencing a full trace.
+            if site is not None:
+                obs.instant("fault.injected", cat="fault", channel=channel, site=site)
+            else:
+                obs.instant("fault.injected", cat="fault", channel=channel)
             obs.inc(f"faults.injected.{channel}")
         return hit
 
     # ---------------------------------------------------------- channel hooks
     def maybe_poison(self, out: np.ndarray, site: str = "kernel") -> np.ndarray:
         """Possibly overwrite one element of a kernel output with NaN."""
-        if not self._hit("nan"):
+        if not self._hit("nan", site=site):
             return out
         poisoned = np.array(out, dtype=np.float64, copy=True)
         flat = poisoned.reshape(-1)
@@ -155,7 +161,7 @@ class FaultInjector:
 
     def maybe_fail_cholesky(self) -> None:
         """Possibly abort a factorization before it runs."""
-        if self._hit("chol"):
+        if self._hit("chol", site="cholesky"):
             raise InjectedFaultError("injected Cholesky factorization failure")
 
     def maybe_corrupt(self, z: np.ndarray) -> np.ndarray:

@@ -109,14 +109,18 @@ class Workspace:
             None if n_columns is None else int(n_columns),
             slot_key,
         )
+        from repro import obs  # deferred: keep arena importable standalone
+
         plan = self._plans.get(key)
         if plan is not None:
             self._plans.move_to_end(key)
             self.plan_hits += 1
+            obs.inc("plan.cache_hits")
             return plan
         plan = BatchPlan(batch, atom_to_column, n_columns)
         self._plans[key] = plan
         self.plan_builds += 1
+        obs.inc("plan.cache_builds")
         while len(self._plans) > self.plan_capacity:
             self._plans.popitem(last=False)
         return plan

@@ -21,6 +21,11 @@ with contextvar scopes so an uninstrumented run stays bit-identical:
   drift, capacity planning (predicted makespan/latency/cost at any
   fleet size from one trace), and noise-aware benchmark regression
   diffing (the ``repro obs`` CLI family).
+* **Live telemetry** (:mod:`repro.obs.live`) — the while-it-runs plane:
+  an always-on :class:`FlightRecorder` ring buffer dumped to JSONL on
+  forensic triggers, a :class:`TelemetrySnapshotter` heartbeat exporter
+  feeding ``repro obs top``, and :class:`SLOSpec`/:class:`SLOTracker`
+  burn-rate verdicts over rolling histogram windows.
 
 Typical use::
 
@@ -48,6 +53,17 @@ from repro.obs.export import (
     write_metrics_json,
     write_spans_jsonl,
 )
+from repro.obs.live import (
+    FlightRecorder,
+    SLOSpec,
+    SLOTracker,
+    TelemetrySnapshotter,
+    current_flight_recorder,
+    flight_recording,
+    parse_heartbeat_spec,
+    read_heartbeats,
+    render_top,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -55,8 +71,12 @@ from repro.obs.metrics import (
     MetricsRegistry,
     current_metrics,
     inc,
+    labeled_name,
     metrics_scope,
     observe,
+    observe_latency,
+    parse_metric_key,
+    quantile_from_snapshot,
     set_gauge,
 )
 from repro.obs.tracer import (
@@ -73,8 +93,12 @@ _LAZY = {
     # double-import warning while still exporting the validate API here,
     # and keeps the analysis/regress machinery (numpy-heavy, CLI-facing)
     # out of the instrumentation import path.
+    "flight_jsonl_stats": "repro.obs.validate",
+    "heartbeat_jsonl_stats": "repro.obs.validate",
     "trace_stats": "repro.obs.validate",
     "validate_chrome_trace": "repro.obs.validate",
+    "validate_flight_jsonl": "repro.obs.validate",
+    "validate_heartbeat_jsonl": "repro.obs.validate",
     "validate_plan_json": "repro.obs.validate",
     "validate_spans_jsonl": "repro.obs.validate",
     "compare_cis": "repro.obs.planner",
@@ -108,35 +132,50 @@ def __getattr__(name: str):
 
 __all__ = [
     "Counter",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "Instant",
     "MetricsRegistry",
+    "SLOSpec",
+    "SLOTracker",
     "Span",
+    "TelemetrySnapshotter",
     "Tracer",
     "check_metric",
     "chrome_trace_events",
     "compare_cis",
     "cost_ci",
     "critical_path",
+    "current_flight_recorder",
     "current_metrics",
     "current_tracer",
     "doctor_report",
     "eq1_drift",
+    "flight_jsonl_stats",
+    "flight_recording",
     "format_doctor_report",
     "format_obs_summary",
     "format_plan_report",
     "format_regress_report",
+    "heartbeat_jsonl_stats",
     "inc",
     "instant",
+    "labeled_name",
     "load_trace",
     "median_mad",
     "metrics_scope",
     "observe",
+    "observe_latency",
+    "parse_heartbeat_spec",
+    "parse_metric_key",
     "plan_report",
     "planner_input",
+    "quantile_from_snapshot",
     "read_chrome_trace",
+    "read_heartbeats",
     "read_spans_jsonl",
+    "render_top",
     "run_regress",
     "self_validation",
     "set_gauge",
@@ -146,6 +185,8 @@ __all__ = [
     "trace_stats",
     "tracing",
     "validate_chrome_trace",
+    "validate_flight_jsonl",
+    "validate_heartbeat_jsonl",
     "validate_plan_json",
     "validate_prediction",
     "validate_spans_jsonl",

@@ -1,0 +1,634 @@
+"""Live telemetry plane: flight recorder, heartbeat exporter, SLO tracking.
+
+Everything else in :mod:`repro.obs` is post-hoc — it reads a finished
+trace after the run ends.  This module is the *while-it-runs* plane the
+session server needs, in three pieces:
+
+* :class:`FlightRecorder` — an always-on bounded ring buffer of recent
+  span/metric/fault events.  Idle cost is one contextvar read per
+  instrumented site; active cost is a dict + deque append.  On a
+  forensic trigger (terminal batch failure, quarantine, worker death,
+  pool rebuild — or an explicit :meth:`~FlightRecorder.dump`) the ring
+  is written to a timestamped JSONL artifact that
+  ``python -m repro.obs.validate`` understands.  Worker processes run
+  their own recorder and ship :meth:`~FlightRecorder.payload` home with
+  their results; the parent folds it in with
+  :meth:`~FlightRecorder.absorb`, firing any triggers the worker saw.
+* :class:`TelemetrySnapshotter` — a daemon thread appending
+  :class:`~repro.obs.metrics.MetricsRegistry` snapshots to a heartbeat
+  JSONL at a fixed period, stamping tracer/recorder/its-own self-cost
+  into each beat so the live plane reports its overhead honestly.
+* :class:`SLOSpec` / :class:`SLOTracker` — a latency objective
+  ("p95 of ``cycle.seconds`` under 2 s") assessed as a rolling
+  burn rate over heartbeat windows.
+
+:func:`render_top` turns a heartbeat file into the ``repro obs top``
+terminal view: lane busy%, inflight/queued, steal and rebuild counters,
+plan-cache hit rate, per-cycle/per-resolve p50/p99, per-session series
+and the SLO verdict.
+
+Timestamps here are wall ``time.time()`` (not the swappable solver
+clock): flight events from different processes must collate without the
+epoch rebasing the tracer does, and heartbeat consumers live outside the
+process.  Self-cost intervals use ``time.perf_counter``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator, Mapping
+
+from repro.obs.metrics import (
+    MetricsRegistry,
+    bucket_value,
+    parse_metric_key,
+    quantile_from_snapshot,
+)
+
+#: Instant names that dump the flight ring when they pass through
+#: :meth:`FlightRecorder.record`.  Any instant carrying
+#: ``error=NotPositiveDefiniteError`` triggers regardless of name.
+DEFAULT_TRIGGERS = frozenset(
+    {
+        "update.batch_failed",
+        "batch.quarantined",
+        "executor.pool_rebuild",
+        "executor.resubmit",
+    }
+)
+
+_NPD_ERROR = "NotPositiveDefiniteError"
+
+FLIGHT_META_TYPE = "flight_meta"
+HEARTBEAT_META_TYPE = "heartbeat_meta"
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+class FlightRecorder:
+    """Bounded ring of recent events, dumped to JSONL on forensic triggers.
+
+    ``dump_dir=None`` (the worker-side configuration) records and trigger-
+    detects but never writes; triggers are shipped in
+    :meth:`payload` and re-fired by the parent's :meth:`absorb`.
+    ``max_dumps`` rate-limits artifact creation so a crash storm cannot
+    fill a disk.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 4096,
+        dump_dir: str | Path | None = None,
+        triggers: frozenset[str] | set[str] = DEFAULT_TRIGGERS,
+        max_dumps: int = 5,
+    ) -> None:
+        self.capacity = int(capacity)
+        self.dump_dir = Path(dump_dir) if dump_dir is not None else None
+        self.triggers = frozenset(triggers)
+        self.max_dumps = int(max_dumps)
+        self.recorded = 0
+        self.dumps: list[Path] = []
+        self.overhead_seconds = 0.0
+        self._events: deque[dict] = deque(maxlen=self.capacity)
+        self._pending_triggers: list[dict] = []
+        self._lock = threading.Lock()
+        self._seq = 0
+
+    # ------------------------------------------------------------- recording
+    @property
+    def dropped(self) -> int:
+        """Events evicted from the ring since construction."""
+        return self.recorded - len(self._events)
+
+    def record(
+        self,
+        kind: str,
+        name: str,
+        cat: str,
+        attrs: Mapping[str, Any] | None = None,
+        duration: float | None = None,
+    ) -> None:
+        """Append one event; instants may fire a forensic dump."""
+        t0 = time.perf_counter()
+        event = {
+            "ts": time.time(),
+            "kind": kind,
+            "name": name,
+            "cat": cat,
+            "pid": os.getpid(),
+            "attrs": {k: _jsonable(v) for k, v in (attrs or {}).items()},
+        }
+        if duration is not None:
+            event["dur"] = duration
+        with self._lock:
+            self._events.append(event)
+            self.recorded += 1
+        if kind == "instant" and self._is_trigger(name, event["attrs"]):
+            self._trigger(name, event["attrs"])
+        self.overhead_seconds += time.perf_counter() - t0
+
+    def _is_trigger(self, name: str, attrs: Mapping[str, Any]) -> bool:
+        return name in self.triggers or attrs.get("error") == _NPD_ERROR
+
+    def _trigger(self, name: str, attrs: Mapping[str, Any]) -> None:
+        if self.dump_dir is None:
+            with self._lock:
+                self._pending_triggers.append({"name": name, "attrs": dict(attrs)})
+            return
+        if len(self.dumps) >= self.max_dumps:
+            return
+        self.dump(reason=name, trigger=dict(attrs))
+
+    # --------------------------------------------------------------- dumping
+    def dump(
+        self,
+        path: str | Path | None = None,
+        reason: str = "manual",
+        trigger: Mapping[str, Any] | None = None,
+    ) -> Path:
+        """Write the ring (ts-ordered) plus a meta header row to JSONL."""
+        t0 = time.perf_counter()
+        with self._lock:
+            events = sorted(self._events, key=lambda e: e["ts"])
+            self._seq += 1
+            seq = self._seq
+        if path is None:
+            if self.dump_dir is None:
+                raise ValueError("no dump path given and recorder has no dump_dir")
+            self.dump_dir.mkdir(parents=True, exist_ok=True)
+            stamp = time.strftime("%Y%m%d-%H%M%S")
+            slug = reason.replace(".", "-").replace("/", "-")
+            path = self.dump_dir / f"flight-{slug}-{stamp}-{seq:02d}.jsonl"
+        path = Path(path)
+        meta = {
+            "type": FLIGHT_META_TYPE,
+            "version": 1,
+            "reason": reason,
+            "dumped_at": time.time(),
+            "pid": os.getpid(),
+            "capacity": self.capacity,
+            "recorded": self.recorded,
+            "dropped": self.dropped,
+            "events": len(events),
+            "overhead_seconds": self.overhead_seconds,
+        }
+        if trigger is not None:
+            meta["trigger"] = {k: _jsonable(v) for k, v in trigger.items()}
+        with path.open("w") as fh:
+            fh.write(json.dumps(meta) + "\n")
+            for event in events:
+                fh.write(json.dumps(event) + "\n")
+        self.dumps.append(path)
+        self.overhead_seconds += time.perf_counter() - t0
+        return path
+
+    # ------------------------------------------------------- worker transport
+    def payload(self) -> dict:
+        """Picklable state shipped from a worker back to the parent."""
+        with self._lock:
+            return {
+                "events": list(self._events),
+                "recorded": self.recorded,
+                "pending_triggers": list(self._pending_triggers),
+                "overhead_seconds": self.overhead_seconds,
+            }
+
+    def absorb(self, payload: dict | None) -> None:
+        """Fold a worker recorder's :meth:`payload` into this ring.
+
+        Worker events interleave by wall timestamp at the next dump; any
+        trigger the worker detected (but could not dump, having no
+        ``dump_dir``) fires here with its original attrs.
+        """
+        if not payload:
+            return
+        events = payload.get("events", [])
+        with self._lock:
+            self._events.extend(events)
+            self.recorded += int(payload.get("recorded", len(events)))
+        self.overhead_seconds += float(payload.get("overhead_seconds", 0.0))
+        for pending in payload.get("pending_triggers", []):
+            self._trigger(pending.get("name", "worker.trigger"), pending.get("attrs", {}))
+
+
+# ---------------------------------------------------------- active recorder
+_RECORDER: ContextVar[FlightRecorder | None] = ContextVar(
+    "repro_obs_flight", default=None
+)
+
+
+def current_flight_recorder() -> FlightRecorder | None:
+    """The flight recorder instrumented sites feed, or ``None``."""
+    return _RECORDER.get()
+
+
+@contextmanager
+def flight_recording(
+    recorder: FlightRecorder | None = None, **kwargs: Any
+) -> Iterator[FlightRecorder]:
+    """Activate ``recorder`` (or ``FlightRecorder(**kwargs)``) for the block."""
+    rec = recorder if recorder is not None else FlightRecorder(**kwargs)
+    token = _RECORDER.set(rec)
+    try:
+        yield rec
+    finally:
+        _RECORDER.reset(token)
+
+
+# ------------------------------------------------------- heartbeat exporter
+class TelemetrySnapshotter:
+    """Daemon thread appending registry snapshots to a heartbeat JSONL.
+
+    Each beat stamps the observability self-cost gauges
+    (``obs.overhead_seconds`` from the tracer,
+    ``obs.snapshotter_overhead_seconds`` for this thread,
+    ``obs.recorder_overhead_seconds`` for the flight recorder) into the
+    registry *before* snapshotting, so ``repro obs top`` can show the
+    live plane's own price.  :meth:`stop` writes one final beat, so even
+    a run shorter than ``period`` leaves a usable heartbeat file.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        path: str | Path,
+        period: float = 1.0,
+        tracer: Any | None = None,
+        recorder: FlightRecorder | None = None,
+    ) -> None:
+        self.registry = registry
+        self.path = Path(path)
+        self.period = max(0.05, float(period))
+        self.tracer = tracer
+        self.recorder = recorder
+        self.beats = 0
+        self.overhead_seconds = 0.0
+        self._started_at = 0.0
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._fh: Any = None
+        self._lock = threading.Lock()
+
+    def start(self) -> "TelemetrySnapshotter":
+        if self._thread is not None:
+            return self
+        self._started_at = time.time()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fresh = not self.path.exists() or self.path.stat().st_size == 0
+        self._fh = self.path.open("a")
+        if fresh:
+            meta = {
+                "type": HEARTBEAT_META_TYPE,
+                "version": 1,
+                "period_seconds": self.period,
+                "started_at": self._started_at,
+                "pid": os.getpid(),
+            }
+            self._fh.write(json.dumps(meta) + "\n")
+            self._fh.flush()
+        self._thread = threading.Thread(
+            target=self._loop, name="repro-heartbeat", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.period):
+            self.beat()
+
+    def beat(self) -> None:
+        """Write one heartbeat row (thread-safe; also callable directly)."""
+        t0 = time.perf_counter()
+        if self.tracer is not None:
+            self.registry.gauge("obs.overhead_seconds").set(
+                self.tracer.overhead_seconds
+            )
+        if self.recorder is not None:
+            self.registry.gauge("obs.recorder_overhead_seconds").set(
+                self.recorder.overhead_seconds
+            )
+        self.registry.gauge("obs.snapshotter_overhead_seconds").set(
+            self.overhead_seconds
+        )
+        now = time.time()
+        row = {
+            "type": "heartbeat",
+            "seq": self.beats,
+            "ts": now,
+            "uptime_seconds": now - self._started_at,
+            "metrics": self.registry.snapshot(),
+        }
+        with self._lock:
+            if self._fh is None:
+                return
+            self._fh.write(json.dumps(row) + "\n")
+            self._fh.flush()
+            self.beats += 1
+        self.overhead_seconds += time.perf_counter() - t0
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        self._thread = None
+        self.beat()
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+
+    def __enter__(self) -> "TelemetrySnapshotter":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+
+def parse_heartbeat_spec(spec: str) -> tuple[Path, float]:
+    """Parse ``PATH`` or ``PATH:SECS`` into ``(path, period_seconds)``."""
+    path, sep, tail = spec.rpartition(":")
+    if sep:
+        try:
+            period = float(tail)
+        except ValueError:
+            return Path(spec), 1.0
+        if period <= 0:
+            raise ValueError(f"heartbeat period must be positive: {spec!r}")
+        return Path(path), period
+    return Path(spec), 1.0
+
+
+def read_heartbeats(path: str | Path) -> tuple[dict, list[dict]]:
+    """Load a heartbeat JSONL: ``(meta row, beat rows in file order)``."""
+    meta: dict = {}
+    rows: list[dict] = []
+    with Path(path).open() as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            row = json.loads(line)
+            if row.get("type") == HEARTBEAT_META_TYPE:
+                meta = row
+            elif row.get("type") == "heartbeat":
+                rows.append(row)
+    return meta, rows
+
+
+# ------------------------------------------------------------------- SLOs
+@dataclass(frozen=True)
+class SLOSpec:
+    """A latency objective: ``objective`` of ``metric`` ≤ ``target_seconds``."""
+
+    metric: str
+    target_seconds: float
+    objective: float = 0.95
+
+    @classmethod
+    def parse(cls, spec: str) -> "SLOSpec":
+        """Parse ``METRIC:TARGET`` or ``METRIC:TARGET:OBJECTIVE``."""
+        parts = spec.split(":")
+        if len(parts) not in (2, 3):
+            raise ValueError(
+                f"SLO spec must be METRIC:TARGET[:OBJECTIVE], got {spec!r}"
+            )
+        metric = parts[0]
+        target = float(parts[1])
+        objective = float(parts[2]) if len(parts) == 3 else 0.95
+        if not 0.0 < objective < 1.0:
+            raise ValueError(f"SLO objective must be in (0, 1): {spec!r}")
+        if target <= 0:
+            raise ValueError(f"SLO target must be positive: {spec!r}")
+        return cls(metric=metric, target_seconds=target, objective=objective)
+
+
+def good_bad_from_buckets(
+    buckets: Mapping[str, int] | Mapping[int, int], target: float
+) -> tuple[int, int]:
+    """Split bucket counts into (≤ target, > target) by representative value."""
+    good = bad = 0
+    for key, n in buckets.items():
+        if bucket_value(int(key)) <= target:
+            good += int(n)
+        else:
+            bad += int(n)
+    return good, bad
+
+
+class SLOTracker:
+    """Rolling burn-rate verdict over per-window good/bad sample counts.
+
+    ``burn_rate`` is the classic SRE ratio: observed bad fraction over the
+    error budget ``1 - objective``.  ≤ 1 means within budget (``ok``),
+    ≤ 2 is ``warn``, above that ``breach``.
+    """
+
+    def __init__(self, spec: SLOSpec, window: int = 60) -> None:
+        self.spec = spec
+        self._window: deque[tuple[int, int]] = deque(maxlen=max(1, int(window)))
+
+    def update(self, good: int, bad: int) -> None:
+        self._window.append((int(good), int(bad)))
+
+    @property
+    def good(self) -> int:
+        return sum(g for g, _ in self._window)
+
+    @property
+    def bad(self) -> int:
+        return sum(b for _, b in self._window)
+
+    def burn_rate(self) -> float | None:
+        total = self.good + self.bad
+        if total == 0:
+            return None
+        bad_frac = self.bad / total
+        return bad_frac / max(1e-9, 1.0 - self.spec.objective)
+
+    def verdict(self) -> str:
+        rate = self.burn_rate()
+        if rate is None:
+            return "no-data"
+        if rate <= 1.0:
+            return "ok"
+        if rate <= 2.0:
+            return "warn"
+        return "breach"
+
+
+# -------------------------------------------------------------- obs top view
+def _counter(row: dict, name: str) -> float:
+    return float(row.get("metrics", {}).get("counters", {}).get(name, 0.0))
+
+
+def _gauge(row: dict, name: str, default: float = 0.0) -> float:
+    return float(row.get("metrics", {}).get("gauges", {}).get(name, default))
+
+
+def _histogram(row: dict, name: str) -> dict:
+    return row.get("metrics", {}).get("histograms", {}).get(name, {})
+
+
+def _delta_buckets(new: dict, old: dict) -> dict[int, int]:
+    out: dict[int, int] = {}
+    for key, n in (new.get("buckets") or {}).items():
+        out[int(key)] = int(n)
+    for key, n in (old.get("buckets") or {}).items():
+        idx = int(key)
+        out[idx] = out.get(idx, 0) - int(n)
+    return {idx: n for idx, n in out.items() if n > 0}
+
+
+def _pct(x: float) -> str:
+    return f"{100.0 * x:.1f}%"
+
+
+def render_top(
+    meta: dict,
+    rows: list[dict],
+    slo: SLOSpec | None = None,
+    window: int = 5,
+    path: str | Path | None = None,
+) -> str:
+    """Render the ``repro obs top`` view from heartbeat rows.
+
+    Rates (busy%, per-lane busy%) come from counter deltas over the last
+    ``window`` beats; levels (inflight, queued, p50/p99 gauges) come from
+    the newest beat.  Pure function of its inputs, so tests can feed it
+    synthetic heartbeats.
+    """
+    if not rows:
+        return "no heartbeats yet"
+    last = rows[-1]
+    base = rows[max(0, len(rows) - 1 - max(1, window))]
+    dt = max(1e-9, float(last["ts"]) - float(base["ts"]))
+    span_beats = int(last.get("seq", 0)) - int(base.get("seq", 0))
+
+    lines: list[str] = []
+    title = "repro obs top"
+    if path is not None:
+        title += f" — {Path(path).name}"
+    lines.append(title)
+    lines.append(
+        f"beat {last.get('seq', 0)}  uptime {float(last.get('uptime_seconds', 0.0)):.1f}s  "
+        f"period {float(meta.get('period_seconds', 0.0)):.2g}s  "
+        f"pid {meta.get('pid', '?')}  window {span_beats} beats ({dt:.1f}s)"
+    )
+
+    # ---- fleet level + busy rates
+    workers = _gauge(last, "sched.workers")
+    inflight = _gauge(last, "sched.inflight")
+    queued = _gauge(last, "sched.queued")
+    busy_delta = _counter(last, "sched.busy_seconds") - _counter(
+        base, "sched.busy_seconds"
+    )
+    busy_line = (
+        f"workers {int(workers)}  inflight {int(inflight)}  queued {int(queued)}"
+    )
+    if workers > 0:
+        busy_line += f"  busy {_pct(min(1.0, busy_delta / (dt * workers)))}"
+    lane_parts = []
+    for key in sorted(last.get("metrics", {}).get("counters", {})):
+        if key.startswith("sched.lane.") and key.endswith(".busy_seconds"):
+            lane = key[len("sched.lane."):-len(".busy_seconds")]
+            lane_busy = _counter(last, key) - _counter(base, key)
+            lane_parts.append(f"lane{lane} {_pct(min(1.0, lane_busy / dt))}")
+    if lane_parts:
+        busy_line += "  (" + " ".join(lane_parts) + ")"
+    lines.append(busy_line)
+
+    # ---- counters: steals, resubmits, rebuilds, plan cache
+    steals = _counter(last, "sched.steals")
+    misses = _counter(last, "sched.steal_misses")
+    resub = _counter(last, "executor.tasks_resubmitted")
+    rebuilds = _counter(last, "executor.pool_rebuilds")
+    hits = _counter(last, "plan.cache_hits")
+    builds = _counter(last, "plan.cache_builds")
+    plan_line = "n/a"
+    if hits + builds > 0:
+        plan_line = _pct(hits / (hits + builds)) + " hit"
+    lines.append(
+        f"steals {int(steals)} (misses {int(misses)})  resubmits {int(resub)}  "
+        f"pool_rebuilds {int(rebuilds)}  plan-cache {plan_line}"
+    )
+
+    # ---- latency quantiles
+    for metric, label in (("cycle.seconds", "cycle"), ("resolve.seconds", "resolve"), ("node.seconds", "node")):
+        h = _histogram(last, metric)
+        if not h.get("count"):
+            continue
+        p50 = _gauge(last, f"{metric}.p50", quantile_from_snapshot(h, 0.5))
+        p99 = _gauge(last, f"{metric}.p99", quantile_from_snapshot(h, 0.99))
+        lines.append(
+            f"{label:<8} p50 {p50:.4g}s  p99 {p99:.4g}s  (n={int(h['count'])})"
+        )
+
+    # ---- SLO verdict over the window
+    if slo is not None:
+        tracker = SLOTracker(slo, window=max(1, window))
+        for i in range(1, len(rows)):
+            good, bad = good_bad_from_buckets(
+                _delta_buckets(
+                    _histogram(rows[i], slo.metric), _histogram(rows[i - 1], slo.metric)
+                ),
+                slo.target_seconds,
+            )
+            tracker.update(good, bad)
+        first_h = _histogram(rows[0], slo.metric)
+        if first_h.get("count"):
+            g0, b0 = good_bad_from_buckets(first_h.get("buckets") or {}, slo.target_seconds)
+            tracker.update(g0, b0)
+        rate = tracker.burn_rate()
+        rate_str = f"{rate:.2f}" if rate is not None else "-"
+        lines.append(
+            f"SLO {slo.metric} <= {slo.target_seconds:g}s @{slo.objective:.0%}: "
+            f"{tracker.verdict()} (burn {rate_str}, {tracker.good} good / {tracker.bad} bad)"
+        )
+
+    # ---- per-session labeled series
+    sessions: dict[str, dict[str, float]] = {}
+    for key, value in last.get("metrics", {}).get("counters", {}).items():
+        name, labels = parse_metric_key(key)
+        if not labels or not name.startswith("session."):
+            continue
+        ident = labels.get("session") or ",".join(
+            f"{k}={v}" for k, v in sorted(labels.items())
+        )
+        extra = ",".join(
+            f"{k}={v}" for k, v in sorted(labels.items()) if k != "session"
+        )
+        label = f"{ident}{{{extra}}}" if extra else ident
+        sessions.setdefault(label, {})[name.removeprefix("session.")] = value
+    if sessions:
+        parts = []
+        for label in sorted(sessions):
+            stats = " ".join(
+                f"{k}={v:g}" for k, v in sorted(sessions[label].items())
+            )
+            parts.append(f"{label} {stats}")
+        lines.append("sessions: " + " | ".join(parts))
+
+    # ---- live-plane self-cost
+    tracer_cost = _gauge(last, "obs.overhead_seconds")
+    snap_cost = _gauge(last, "obs.snapshotter_overhead_seconds")
+    rec_cost = _gauge(last, "obs.recorder_overhead_seconds")
+    uptime = max(1e-9, float(last.get("uptime_seconds", 0.0)))
+    total_cost = tracer_cost + snap_cost + rec_cost
+    lines.append(
+        f"self-cost: tracer {tracer_cost:.4g}s  snapshotter {snap_cost:.4g}s  "
+        f"recorder {rec_cost:.4g}s ({_pct(total_cost / uptime)} of uptime)"
+    )
+    return "\n".join(lines)

@@ -1,11 +1,12 @@
-"""Runtime metrics: counters, gauges and summary histograms.
+"""Runtime metrics: counters, gauges and streaming log-bucket histograms.
 
 A :class:`MetricsRegistry` is a flat, thread-safe name → metric map fed
 by the solvers, executors, kernels and the fault/retry machinery.  The
 registry follows the library's contextvar activation pattern
 (:func:`metrics_scope` / :func:`current_metrics`); the module-level
-helpers :func:`inc`, :func:`set_gauge` and :func:`observe` are the
-no-op-when-inactive hooks instrumented code calls.
+helpers :func:`inc`, :func:`set_gauge`, :func:`observe` and
+:func:`observe_latency` are the no-op-when-inactive hooks instrumented
+code calls.
 
 Metric name conventions (dot-separated, lowercase):
 
@@ -26,10 +27,45 @@ Metric name conventions (dot-separated, lowercase):
                                    nothing stealable while work was inflight
 ``sched.placement_lanes``          gauge — lanes the last placement packed onto
 ``sched.predicted_makespan_seconds``  gauge — last packing's simulated makespan
+``sched.workers``                  gauge — backend concurrency of the last cycle
+``sched.inflight`` / ``.queued``   gauges — live submitted / ready-but-queued tasks
+``sched.busy_seconds``             counter — summed worker-measured node seconds
+``sched.lane.<i>.busy_seconds``    counter — same, per placement lane
+``sched.nodes_completed``          counter — node tasks ingested
+``cycle.seconds``                  histogram — per-cycle wall time (with
+                                   ``cycle.seconds.p50``/``.p99`` gauges)
+``resolve.seconds``                histogram — per-resolve wall time (same gauges)
+``node.seconds``                   histogram — per-node-task worker seconds
+``plan.cache_hits`` / ``.builds``  counters — vector-tier sparsity-plan reuse
 ``checkpoint.nodes_saved`` /       counters — checkpoint I/O volume
 ``.nodes_resumed`` / ``.cycles_replayed``
 ``faults.injected.<channel>``      counter — faults actually injected per channel
+``obs.overhead_seconds``           gauge — tracer record self-cost
+``obs.snapshotter_overhead_seconds``  gauge — heartbeat exporter self-cost
+``obs.recorder_overhead_seconds``  gauge — flight-recorder self-cost
 =================================  =============================================
+
+Labels
+------
+Every metric accessor takes an optional ``labels={...}`` mapping (session
+id, tenant, backend, kernel_impl...).  Labels are encoded into the metric
+key — ``session.resolves{session=s0,tenant=acme}`` — so a labeled series
+is just another registry entry: :meth:`MetricsRegistry.snapshot` and
+:meth:`MetricsRegistry.merge_snapshot` carry it across process
+boundaries unchanged, which is what lets :class:`~repro.core.session.SolveSession`
+and the executors publish per-session series that survive worker pool
+rebuilds.  :func:`parse_metric_key` recovers ``(name, labels)``.
+
+Histograms
+----------
+:class:`Histogram` is a fixed log-bucket streaming summary: O(1) memory
+(at most ``_MAX_BUCKET - _MIN_BUCKET + 2`` sparse buckets, in practice a
+few dozen), supporting :meth:`~Histogram.quantile` and
+:meth:`~Histogram.merge` with ~9% relative bucket resolution (4 buckets
+per power of two).  Snapshots keep the historical
+``count/total/min/max/mean`` keys and add ``buckets``;
+:meth:`MetricsRegistry.merge_snapshot` still reads old-style ``values``
+lists as an alias for individual observations.
 
 Workers in other processes collect into their own registry and ship
 :meth:`MetricsRegistry.snapshot` back with their results; the parent
@@ -38,10 +74,97 @@ folds it in with :meth:`MetricsRegistry.merge_snapshot`.
 
 from __future__ import annotations
 
+import math
 import threading
 from contextlib import contextmanager
 from contextvars import ContextVar
-from typing import Iterator
+from typing import Iterator, Mapping
+
+# --------------------------------------------------------- bucket geometry
+#: 4 buckets per power of two ⇒ bucket edges grow by 2^(1/4) ≈ 1.19.
+_LOG_BASE = math.log(2.0) / 4.0
+#: Clamp range: covers roughly [2e-20, 5e19] seconds/rows/bytes.
+_MIN_BUCKET = -256
+_MAX_BUCKET = 256
+#: Zero, negative and NaN observations land here (rendered as 0.0).
+_UNDERFLOW = _MIN_BUCKET - 1
+
+
+def bucket_index(v: float) -> int:
+    """Log-bucket index of ``v`` (clamped; non-positive/NaN → underflow)."""
+    if v != v or v <= 0.0:
+        return _UNDERFLOW
+    idx = int(math.floor(math.log(v) / _LOG_BASE))
+    return max(_MIN_BUCKET, min(_MAX_BUCKET, idx))
+
+
+def bucket_value(idx: int) -> float:
+    """Representative value (geometric midpoint) of bucket ``idx``."""
+    if idx <= _UNDERFLOW:
+        return 0.0
+    return math.exp((idx + 0.5) * _LOG_BASE)
+
+
+def _quantile_from_buckets(
+    buckets: Mapping[int, int], count: int, vmin: float, vmax: float, q: float
+) -> float:
+    if count <= 0:
+        return 0.0
+    q = min(1.0, max(0.0, q))
+    rank = q * count
+    cum = 0
+    for idx in sorted(buckets):
+        cum += buckets[idx]
+        if cum >= rank:
+            v = bucket_value(idx)
+            # The summary min/max are exact; use them to pin the tails.
+            return min(max(v, vmin), vmax)
+    return vmax
+
+
+def quantile_from_snapshot(h: Mapping, q: float) -> float:
+    """Quantile estimate from a snapshotted histogram dict.
+
+    Accepts the wire format of :meth:`MetricsRegistry.snapshot` (and any
+    heartbeat row carrying it).  Without a ``buckets`` key — an old-style
+    summary — falls back to the mean for interior quantiles and min/max
+    at the extremes.
+    """
+    count = int(h.get("count", 0) or 0)
+    if count <= 0:
+        return 0.0
+    buckets = h.get("buckets")
+    vmin = float(h.get("min", 0.0))
+    vmax = float(h.get("max", vmin))
+    if not buckets:
+        if q <= 0.0:
+            return vmin
+        if q >= 1.0:
+            return vmax
+        return float(h.get("mean", 0.0))
+    counts = {int(k): int(v) for k, v in buckets.items()}
+    return _quantile_from_buckets(counts, count, vmin, vmax, q)
+
+
+# ------------------------------------------------------------- label keys
+def labeled_name(name: str, labels: Mapping[str, object] | None = None) -> str:
+    """Encode ``labels`` into the registry key: ``name{k=v,k2=v2}``."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+def parse_metric_key(key: str) -> tuple[str, dict[str, str]]:
+    """Inverse of :func:`labeled_name`: ``(base name, labels dict)``."""
+    if not key.endswith("}") or "{" not in key:
+        return key, {}
+    name, _, inner = key[:-1].partition("{")
+    labels: dict[str, str] = {}
+    for part in filter(None, inner.split(",")):
+        k, _, v = part.partition("=")
+        labels[k] = v
+    return name, labels
 
 
 class Counter:
@@ -69,19 +192,21 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming summary: count, sum, min, max (no bucket storage).
+    """Streaming log-bucket histogram: O(1) memory, mergeable quantiles.
 
-    Enough to answer "how many, how much, how extreme" for batch sizes
-    and per-region seconds without unbounded memory.
+    Tracks exact ``count``/``total``/``min``/``max`` plus a sparse map of
+    fixed geometric buckets (4 per power of two), which is enough for
+    p50/p99 latency gauges and SLO verdicts without storing observations.
     """
 
-    __slots__ = ("count", "total", "vmin", "vmax")
+    __slots__ = ("count", "total", "vmin", "vmax", "buckets")
 
     def __init__(self) -> None:
         self.count = 0
         self.total = 0.0
         self.vmin = float("inf")
         self.vmax = float("-inf")
+        self.buckets: dict[int, int] = {}
 
     def observe(self, v: float) -> None:
         v = float(v)
@@ -91,10 +216,29 @@ class Histogram:
             self.vmin = v
         if v > self.vmax:
             self.vmax = v
+        idx = bucket_index(v)
+        self.buckets[idx] = self.buckets.get(idx, 0) + 1
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Bucket-resolution quantile estimate (exact at the extremes)."""
+        return _quantile_from_buckets(
+            self.buckets, self.count, self.vmin, self.vmax, q
+        )
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram's state into this one."""
+        if other.count == 0:
+            return
+        self.count += other.count
+        self.total += other.total
+        self.vmin = min(self.vmin, other.vmin)
+        self.vmax = max(self.vmax, other.vmax)
+        for idx, n in other.buckets.items():
+            self.buckets[idx] = self.buckets.get(idx, 0) + n
 
 
 class MetricsRegistry:
@@ -107,21 +251,28 @@ class MetricsRegistry:
         self._histograms: dict[str, Histogram] = {}
 
     # --------------------------------------------------------- get-or-create
-    def counter(self, name: str) -> Counter:
+    def counter(
+        self, name: str, labels: Mapping[str, object] | None = None
+    ) -> Counter:
+        name = labeled_name(name, labels)
         with self._lock:
             metric = self._counters.get(name)
             if metric is None:
                 metric = self._counters[name] = Counter()
             return metric
 
-    def gauge(self, name: str) -> Gauge:
+    def gauge(self, name: str, labels: Mapping[str, object] | None = None) -> Gauge:
+        name = labeled_name(name, labels)
         with self._lock:
             metric = self._gauges.get(name)
             if metric is None:
                 metric = self._gauges[name] = Gauge()
             return metric
 
-    def histogram(self, name: str) -> Histogram:
+    def histogram(
+        self, name: str, labels: Mapping[str, object] | None = None
+    ) -> Histogram:
+        name = labeled_name(name, labels)
         with self._lock:
             metric = self._histograms.get(name)
             if metric is None:
@@ -152,6 +303,9 @@ class MetricsRegistry:
                         "min": h.vmin if h.count else 0.0,
                         "max": h.vmax if h.count else 0.0,
                         "mean": h.mean,
+                        "buckets": {
+                            str(idx): n for idx, n in sorted(h.buckets.items())
+                        },
                     }
                     for k, h in sorted(self._histograms.items())
                 },
@@ -160,8 +314,11 @@ class MetricsRegistry:
     def merge_snapshot(self, snap: dict | None) -> None:
         """Fold a worker registry's :meth:`snapshot` into this registry.
 
-        Counters and histogram summaries accumulate; gauges take the
-        incoming value (last write wins, matching local semantics).
+        Counters and histograms accumulate; gauges take the incoming
+        value (last write wins, matching local semantics).  Labeled keys
+        pass through verbatim, so per-session series merge losslessly.
+        Histograms in the old list form (a ``values`` key) are replayed
+        observation by observation.
         """
         if not snap:
             return
@@ -171,11 +328,20 @@ class MetricsRegistry:
             self.gauge(name).set(value)
         for name, h in snap.get("histograms", {}).items():
             hist = self.histogram(name)
+            values = h.get("values")
+            if values is not None:
+                # Pre-streaming snapshots stored raw observation lists.
+                for v in values:
+                    hist.observe(float(v))
+                continue
             if h.get("count", 0):
                 hist.count += int(h["count"])
                 hist.total += float(h["total"])
                 hist.vmin = min(hist.vmin, float(h["min"]))
                 hist.vmax = max(hist.vmax, float(h["max"]))
+                for k, n in (h.get("buckets") or {}).items():
+                    idx = int(k)
+                    hist.buckets[idx] = hist.buckets.get(idx, 0) + int(n)
 
 
 # ----------------------------------------------------------- active context
@@ -201,22 +367,46 @@ def metrics_scope(registry: MetricsRegistry | None = None) -> Iterator[MetricsRe
 
 
 # ------------------------------------------------------------ no-op helpers
-def inc(name: str, n: float = 1.0) -> None:
+def inc(
+    name: str, n: float = 1.0, labels: Mapping[str, object] | None = None
+) -> None:
     """Increment a counter on the active registry, if any."""
     reg = _REGISTRY.get()
     if reg is not None:
-        reg.counter(name).inc(n)
+        reg.counter(name, labels).inc(n)
 
 
-def set_gauge(name: str, v: float) -> None:
+def set_gauge(
+    name: str, v: float, labels: Mapping[str, object] | None = None
+) -> None:
     """Set a gauge on the active registry, if any."""
     reg = _REGISTRY.get()
     if reg is not None:
-        reg.gauge(name).set(v)
+        reg.gauge(name, labels).set(v)
 
 
-def observe(name: str, v: float) -> None:
+def observe(
+    name: str, v: float, labels: Mapping[str, object] | None = None
+) -> None:
     """Observe a histogram sample on the active registry, if any."""
     reg = _REGISTRY.get()
     if reg is not None:
-        reg.histogram(name).observe(v)
+        reg.histogram(name, labels).observe(v)
+
+
+def observe_latency(
+    name: str, seconds: float, labels: Mapping[str, object] | None = None
+) -> None:
+    """Observe a latency sample and refresh its rolling p50/p99 gauges.
+
+    Powers the live plane's per-cycle / per-resolve latency views: one
+    histogram observation plus ``<name>.p50`` / ``<name>.p99`` gauges so
+    heartbeat consumers get quantiles without replaying buckets.
+    """
+    reg = _REGISTRY.get()
+    if reg is None:
+        return
+    h = reg.histogram(name, labels)
+    h.observe(float(seconds))
+    reg.gauge(f"{name}.p50", labels).set(h.quantile(0.5))
+    reg.gauge(f"{name}.p99", labels).set(h.quantile(0.99))

@@ -37,6 +37,7 @@ from contextvars import ContextVar
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
+from repro.obs.live import current_flight_recorder
 from repro.util.timer import WallClock, wall_clock
 
 
@@ -300,15 +301,58 @@ def span(name: str, cat: str = "solve", **attrs: Any):
 
     Always usable as ``with span(...) as sp``; ``sp`` is ``None`` when no
     tracer is active, so callers adding mid-span attributes must guard.
+    When a flight recorder is active (with or without a tracer) the span
+    is additionally mirrored into its ring on exit, with duration.
     """
     tr = _TRACER.get()
-    if tr is None:
-        return _NULL_SPAN
-    return tr.span(name, cat, **attrs)
+    rec = current_flight_recorder()
+    if rec is None:
+        if tr is None:
+            return _NULL_SPAN
+        return tr.span(name, cat, **attrs)
+    return _recorded_span(tr, rec, name, cat, attrs)
+
+
+@contextmanager
+def _recorded_span(tracer, recorder, name, cat, attrs):
+    """Span hook path with an active flight recorder.
+
+    Mid-span attributes added through the yielded span object make it
+    into the flight event (the recorder reads ``sp.attrs`` at exit).
+    """
+    t0 = time.perf_counter()
+    if tracer is None:
+        try:
+            yield None
+        finally:
+            recorder.record(
+                "span", name, cat, attrs, duration=time.perf_counter() - t0
+            )
+    else:
+        sp = None
+        try:
+            with tracer.span(name, cat, **attrs) as sp:
+                yield sp
+        finally:
+            recorder.record(
+                "span",
+                name,
+                cat,
+                sp.attrs if sp is not None else attrs,
+                duration=time.perf_counter() - t0,
+            )
 
 
 def instant(name: str, cat: str = "annotation", **attrs: Any) -> None:
-    """Module-level instant hook: records on the active tracer, or no-ops."""
+    """Module-level instant hook: records on the active tracer, or no-ops.
+
+    An active flight recorder also receives the instant — this is the
+    choke point that lets forensic triggers (terminal batch failures,
+    quarantine, pool rebuilds) dump the ring even when tracing is off.
+    """
     tr = _TRACER.get()
     if tr is not None:
         tr.instant(name, cat, **attrs)
+    rec = current_flight_recorder()
+    if rec is not None:
+        rec.record("instant", name, cat, attrs)

@@ -9,9 +9,11 @@ events, and instant events carry a valid scope.  For spans-JSONL files
 start time, unique span ids, resolvable parent references, JSON-scalar
 attributes, and — the cross-process merge invariant — spans sharing a
 ``(pid, tid)`` lane must properly nest, never partially overlap, even
-when their parents live in another lane.  Runnable as a module for the
-CI smoke step; the file format is picked by extension (``.jsonl`` →
-spans log, anything else → Chrome JSON)::
+when their parents live in another lane.  Flight-recorder dumps and
+heartbeat files from :mod:`repro.obs.live` are validated too, routed by
+their typed header row.  Runnable as a module for the CI smoke step; the
+file format is picked by extension (``.jsonl`` → typed JSONL: spans log,
+flight dump or heartbeat by header; anything else → Chrome JSON)::
 
     python -m repro.obs.validate trace.json --require-depth 4 \\
         --expect-name cycle --expect-name batch
@@ -382,6 +384,220 @@ def _plan_assignment_problems(block: object) -> list[str]:
     return problems
 
 
+def validate_flight_jsonl(rows: list[object]) -> list[str]:
+    """Schema problems for a flight-recorder dump (empty = valid).
+
+    Checks the invariants :meth:`repro.obs.live.FlightRecorder.dump`
+    guarantees: a versioned ``flight_meta`` header whose event count and
+    drop accounting match the body, followed by event rows sorted by
+    wall timestamp, each a span (with non-negative ``dur``) or instant
+    with scalar attrs.
+    """
+    problems: list[str] = []
+    if not rows:
+        return ["empty file"]
+    meta = rows[0]
+    if not isinstance(meta, dict) or meta.get("type") != "flight_meta":
+        return ["first row must be a flight_meta header"]
+    if meta.get("version") != 1:
+        problems.append("flight_meta version must be 1")
+    for key in ("capacity", "recorded", "dropped", "events"):
+        v = meta.get(key)
+        if not isinstance(v, int) or v < 0:
+            problems.append(f"flight_meta {key} must be a non-negative integer")
+    if not isinstance(meta.get("reason"), str) or not meta.get("reason"):
+        problems.append("flight_meta needs a non-empty reason")
+    overhead = meta.get("overhead_seconds", 0.0)
+    if not isinstance(overhead, (int, float)) or overhead < 0:
+        problems.append("flight_meta overhead_seconds must be non-negative")
+    body = rows[1:]
+    if isinstance(meta.get("events"), int) and meta["events"] != len(body):
+        problems.append(
+            f"flight_meta claims {meta['events']} events, file has {len(body)}"
+        )
+    if (
+        isinstance(meta.get("recorded"), int)
+        and isinstance(meta.get("dropped"), int)
+        and meta["recorded"] - meta["dropped"] != len(body)
+    ):
+        problems.append("flight_meta recorded - dropped != event count")
+    prev_ts = None
+    for i, row in enumerate(body, start=1):
+        where = f"row {i}"
+        if not isinstance(row, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        kind = row.get("kind")
+        if kind not in ("span", "instant"):
+            problems.append(f"{where}: kind must be span or instant, got {kind!r}")
+            continue
+        if not isinstance(row.get("name"), str) or not row["name"]:
+            problems.append(f"{where}: needs a non-empty string name")
+        ts = row.get("ts")
+        if not isinstance(ts, (int, float)):
+            problems.append(f"{where}: needs a numeric ts")
+            continue
+        if prev_ts is not None and ts < prev_ts:
+            problems.append(f"{where}: events not sorted by ts")
+        prev_ts = ts
+        if not isinstance(row.get("pid"), int):
+            problems.append(f"{where}: pid must be an integer")
+        if kind == "span":
+            dur = row.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: span needs a non-negative dur")
+        attrs = row.get("attrs", {})
+        if not isinstance(attrs, dict):
+            problems.append(f"{where}: attrs must be an object")
+        else:
+            for key, value in attrs.items():
+                if not isinstance(value, _SCALAR):
+                    problems.append(
+                        f"{where}: attr {key!r} must be a JSON scalar, "
+                        f"got {type(value).__name__}"
+                    )
+    return problems
+
+
+def flight_jsonl_stats(rows: list[dict]) -> dict:
+    """Reason, event/trigger counts and pid fanout of a valid flight dump."""
+    meta = rows[0] if rows else {}
+    body = [r for r in rows[1:] if isinstance(r, dict)]
+    return {
+        "reason": meta.get("reason", "?"),
+        "events": len(body),
+        "spans": sum(1 for r in body if r.get("kind") == "span"),
+        "instants": sum(1 for r in body if r.get("kind") == "instant"),
+        "pids": len({r.get("pid") for r in body}),
+        "dropped": meta.get("dropped", 0),
+    }
+
+
+def validate_heartbeat_jsonl(rows: list[object]) -> list[str]:
+    """Schema problems for a heartbeat file (empty = valid).
+
+    Checks what :class:`repro.obs.live.TelemetrySnapshotter` guarantees:
+    a versioned ``heartbeat_meta`` header, then beat rows with strictly
+    increasing ``seq``, non-decreasing ``ts``/``uptime_seconds`` and a
+    well-formed embedded metrics snapshot (numeric counters/gauges,
+    histogram dicts with consistent counts and integer bucket keys).
+    """
+    problems: list[str] = []
+    if not rows:
+        return ["empty file"]
+    meta = rows[0]
+    if not isinstance(meta, dict) or meta.get("type") != "heartbeat_meta":
+        return ["first row must be a heartbeat_meta header"]
+    if meta.get("version") != 1:
+        problems.append("heartbeat_meta version must be 1")
+    period = meta.get("period_seconds")
+    if not isinstance(period, (int, float)) or period <= 0:
+        problems.append("heartbeat_meta period_seconds must be positive")
+    prev_seq = None
+    prev_ts = None
+    for i, row in enumerate(rows[1:], start=1):
+        where = f"row {i}"
+        if not isinstance(row, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        if row.get("type") != "heartbeat":
+            problems.append(f"{where}: type must be heartbeat")
+            continue
+        seq = row.get("seq")
+        if not isinstance(seq, int) or seq < 0:
+            problems.append(f"{where}: seq must be a non-negative integer")
+        elif prev_seq is not None and seq <= prev_seq:
+            problems.append(f"{where}: seq must be strictly increasing")
+        if isinstance(seq, int):
+            prev_seq = seq
+        ts = row.get("ts")
+        if not isinstance(ts, (int, float)):
+            problems.append(f"{where}: needs a numeric ts")
+        elif prev_ts is not None and ts < prev_ts:
+            problems.append(f"{where}: ts must be non-decreasing")
+        else:
+            prev_ts = ts
+        uptime = row.get("uptime_seconds")
+        if not isinstance(uptime, (int, float)) or uptime < 0:
+            problems.append(f"{where}: uptime_seconds must be non-negative")
+        metrics = row.get("metrics")
+        if not isinstance(metrics, dict):
+            problems.append(f"{where}: needs a metrics snapshot object")
+            continue
+        for section in ("counters", "gauges"):
+            block = metrics.get(section, {})
+            if not isinstance(block, dict):
+                problems.append(f"{where}: metrics.{section} must be an object")
+                continue
+            for name, value in block.items():
+                if not isinstance(value, (int, float)):
+                    problems.append(
+                        f"{where}: metrics.{section}[{name!r}] must be numeric"
+                    )
+        hists = metrics.get("histograms", {})
+        if not isinstance(hists, dict):
+            problems.append(f"{where}: metrics.histograms must be an object")
+            continue
+        for name, h in hists.items():
+            if not isinstance(h, dict):
+                problems.append(f"{where}: histogram {name!r} must be an object")
+                continue
+            count = h.get("count")
+            if not isinstance(count, int) or count < 0:
+                problems.append(
+                    f"{where}: histogram {name!r} count must be a "
+                    "non-negative integer"
+                )
+                continue
+            buckets = h.get("buckets")
+            if buckets is None:
+                continue
+            if not isinstance(buckets, dict):
+                problems.append(f"{where}: histogram {name!r} buckets must be an object")
+                continue
+            total_n = 0
+            for key, n in buckets.items():
+                try:
+                    int(key)
+                except (TypeError, ValueError):
+                    problems.append(
+                        f"{where}: histogram {name!r} bucket key {key!r} "
+                        "must be an integer"
+                    )
+                    continue
+                if not isinstance(n, int) or n < 0:
+                    problems.append(
+                        f"{where}: histogram {name!r} bucket {key} count "
+                        "must be a non-negative integer"
+                    )
+                    continue
+                total_n += n
+            if total_n != count:
+                problems.append(
+                    f"{where}: histogram {name!r} bucket counts sum to "
+                    f"{total_n}, count says {count}"
+                )
+    if prev_seq is None:
+        problems.append("heartbeat file has no beat rows")
+    return problems
+
+
+def heartbeat_jsonl_stats(rows: list[dict]) -> dict:
+    """Beat count, uptime and series count of a valid heartbeat file."""
+    beats = [r for r in rows[1:] if isinstance(r, dict)]
+    last = beats[-1] if beats else {}
+    metrics = last.get("metrics", {})
+    series = sum(
+        len(metrics.get(section, {}))
+        for section in ("counters", "gauges", "histograms")
+    )
+    return {
+        "beats": len(beats),
+        "uptime_seconds": float(last.get("uptime_seconds", 0.0)),
+        "series": series,
+    }
+
+
 def _read_jsonl_rows(path: Path) -> list[object]:
     rows: list[object] = []
     with path.open() as fh:
@@ -423,6 +639,33 @@ def main(argv: list[str] | None = None) -> int:
     except (OSError, json.JSONDecodeError) as exc:
         print(f"unreadable trace {args.trace}: {exc}", file=sys.stderr)
         return 1
+    if is_jsonl and rows and isinstance(rows[0], dict):
+        first_type = rows[0].get("type")
+        if first_type == "flight_meta":
+            problems = validate_flight_jsonl(rows)
+            for problem in problems:
+                print(f"INVALID {problem}", file=sys.stderr)
+            if problems:
+                return 1
+            stats = flight_jsonl_stats(rows)
+            print(
+                f"valid flight dump ({stats['reason']}): {stats['events']} events "
+                f"({stats['spans']} spans, {stats['instants']} instants) from "
+                f"{stats['pids']} pids, {stats['dropped']} dropped"
+            )
+            return 0
+        if first_type == "heartbeat_meta":
+            problems = validate_heartbeat_jsonl(rows)
+            for problem in problems:
+                print(f"INVALID {problem}", file=sys.stderr)
+            if problems:
+                return 1
+            stats = heartbeat_jsonl_stats(rows)
+            print(
+                f"valid heartbeat: {stats['beats']} beats over "
+                f"{stats['uptime_seconds']:.1f}s, {stats['series']} series"
+            )
+            return 0
     if not is_jsonl and isinstance(doc, dict) and "plan_version" in doc:
         problems = validate_plan_json(doc)
         for problem in problems:

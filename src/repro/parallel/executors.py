@@ -248,7 +248,9 @@ class ProcessExecutor(Executor):
     def recover(self) -> None:
         """Replace a broken pool; queued segments/tasks are the caller's to resubmit."""
         obs.inc("executor.pool_rebuilds")
-        obs.instant("executor.pool_rebuild", cat="executor")
+        obs.instant(
+            "executor.pool_rebuild", cat="executor", workers=self.n_workers
+        )
         self._pool.shutdown(wait=False, cancel_futures=True)
         self._pool = concurrent.futures.ProcessPoolExecutor(
             max_workers=self.n_workers

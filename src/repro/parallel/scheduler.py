@@ -76,6 +76,13 @@ class _NodeTask:
     trace: bool = False
     collect_metrics: bool = False
     parent_nid: int = -1
+    #: Mirror the dispatching side's flight recorder: the worker runs a
+    #: local ring and ships it home in the obs payload (``absorb`` on the
+    #: parent re-fires any forensic triggers the worker saw).
+    flight: bool = False
+    #: Label set (session id, backend...) stamped onto the worker's
+    #: per-task metric series, so per-session counters survive the trip.
+    labels: dict | None = None
 
 
 def _run_node_task(
@@ -99,9 +106,13 @@ def _run_node_task(
         injector.maybe_sleep()
     tracer = obs.Tracer() if task.trace else None
     registry = obs.MetricsRegistry() if task.collect_metrics else None
+    recorder = obs.FlightRecorder() if task.flight else None
     trace_scope = obs.tracing(tracer) if tracer is not None else nullcontext()
     metrics_scope = (
         obs.metrics_scope(registry) if registry is not None else nullcontext()
+    )
+    flight_scope = (
+        obs.flight_recording(recorder) if recorder is not None else nullcontext()
     )
     # Pack once, then reuse each batch's cached dimension for the span's
     # row attribute instead of re-summing over the raw constraint list.
@@ -109,7 +120,7 @@ def _run_node_task(
         make_batches(task.constraints, task.batch_size) if task.constraints else []
     )
     n_batches = len(batches)
-    with trace_scope, metrics_scope:
+    with trace_scope, metrics_scope, flight_scope:
         with obs.span(
             f"node[{task.nid}]",
             cat="solve",
@@ -133,11 +144,20 @@ def _run_node_task(
                     step=step,
                     consume_estimate=step > 0,
                 )
+    if registry is not None:
+        registry.histogram("node.seconds").observe(timer.elapsed)
+        registry.counter("sched.tasks_completed").inc()
+        if task.labels:
+            registry.counter("sched.tasks_completed", labels=task.labels).inc()
+            registry.histogram("node.seconds", labels=task.labels).observe(
+                timer.elapsed
+            )
     payload: dict | None = None
-    if tracer is not None or registry is not None:
+    if tracer is not None or registry is not None or recorder is not None:
         payload = {
             "trace": tracer.payload() if tracer is not None else None,
             "metrics": registry.snapshot() if registry is not None else None,
+            "flight": recorder.payload() if recorder is not None else None,
         }
     if task.prior_handle is not None:
         write_posterior(task.prior_handle, estimate)
@@ -193,6 +213,7 @@ class ParallelHierarchicalSolver:
         shared_memory: bool | None = None,
         plane: SharedEstimatePlane | None = None,
         placement=None,
+        labels: dict | None = None,
     ):
         if dispatch not in DISPATCH_MODES:
             raise HierarchyError(
@@ -206,6 +227,9 @@ class ParallelHierarchicalSolver:
         self.shared_memory = shared_memory
         self.plane = plane
         self.placement = coerce_placement(placement)
+        #: Metric labels (session id, backend...) stamped onto per-task
+        #: series published by the workers this solver dispatches.
+        self.labels = dict(labels) if labels else None
         #: nid → measured seconds from the most recent cycle that ran the
         #: node; feeds the next packing (and persists across resolves).
         self.measured_costs: dict[int, float] = {}
@@ -284,6 +308,10 @@ class ParallelHierarchicalSolver:
                 nodes=len(self.hierarchy.nodes),
                 rows=self.n_constraint_rows,
             ), total:
+                obs.set_gauge(
+                    "sched.workers",
+                    float(max(1, getattr(self.executor, "n_workers", 1))),
+                )
                 if self.dispatch == "wavefront":
                     self._run_wavefront(
                         estimate, node_results, records, merged, plane, dirty, cache
@@ -299,6 +327,9 @@ class ParallelHierarchicalSolver:
                 else:
                     plane.close_transient()
         obs.inc("solve.cycles")
+        obs.observe_latency("cycle.seconds", total.elapsed)
+        if self.labels:
+            obs.inc("solve.cycles", labels=self.labels)
         root = self.hierarchy.root
         final = estimate.copy()
         root_posterior = node_results.get(root.nid)
@@ -417,7 +448,16 @@ class ParallelHierarchicalSolver:
                 if injector is not None and resubmits == 0
                 else False
             )
-            future = self.executor.submit(_run_node_task, task, crash=crash)
+            try:
+                future = self.executor.submit(_run_node_task, task, crash=crash)
+            except BrokenProcessPool:
+                # A hard-killed worker can break the pool between our
+                # wait() rounds, surfacing first at submit time rather
+                # than on a failed future.  The task never started, so
+                # rebuilding and submitting again burns no resubmit round
+                # (and keeps the crash draw already made above).
+                self.executor.recover()
+                future = self.executor.submit(_run_node_task, task, crash=crash)
             pending[future] = (task, resubmits)
             if tracer is not None:
                 h = heights[task.nid]
@@ -433,11 +473,13 @@ class ParallelHierarchicalSolver:
                     submit(node)
             elif node.is_leaf:
                 submit(node)
+        obs.set_gauge("sched.inflight", float(len(pending)))
         while pending:
             done, _ = concurrent.futures.wait(
                 pending, return_when=concurrent.futures.FIRST_COMPLETED
             )
             lost: list[tuple[_NodeTask, int]] = []
+            ready: list[HierarchyNode] = []
             pool_broken = False
             for future in done:
                 task, resubmits = pending.pop(future)
@@ -471,9 +513,14 @@ class ParallelHierarchicalSolver:
                 if parent is not None and (dirty is None or parent.nid in dirty):
                     waiting[parent.nid] -= 1
                     if waiting[parent.nid] == 0:
-                        submit(parent)
+                        # Deferred below: a sibling future in this same
+                        # `done` batch may have broken the pool, and a
+                        # submit must never race the rebuild.
+                        ready.append(parent)
             if pool_broken:
                 self.executor.recover()
+            for parent in ready:
+                submit(parent)
             for task, resubmits in lost:
                 resubmits += 1
                 obs.inc("executor.tasks_resubmitted")
@@ -486,6 +533,7 @@ class ParallelHierarchicalSolver:
                         f"{self.executor.max_resubmits} resubmission rounds"
                     )
                 submit(nodes[task.nid], resubmits, task=task)
+            obs.set_gauge("sched.inflight", float(len(pending)))
         self._complete_windows(tracer, windows, buffered)
 
     def _complete_windows(
@@ -605,7 +653,13 @@ class ParallelHierarchicalSolver:
                 if injector is not None and resubmits == 0
                 else False
             )
-            future = self.executor.submit(_run_node_task, task, crash=crash)
+            try:
+                future = self.executor.submit(_run_node_task, task, crash=crash)
+            except BrokenProcessPool:
+                # Same submit-time breakage race as _run_dependency's
+                # submit(): rebuild and go again without burning a round.
+                self.executor.recover()
+                future = self.executor.submit(_run_node_task, task, crash=crash)
             inflight[future] = (task, resubmits, lane)
             lane_busy[lane] = True
             if tracer is not None:
@@ -649,6 +703,8 @@ class ParallelHierarchicalSolver:
                 enqueue(node.nid)
         for lane in range(n_lanes):
             dispatch(lane)
+        obs.set_gauge("sched.inflight", float(len(inflight)))
+        obs.set_gauge("sched.queued", float(sum(len(q) for q in queues)))
         while inflight:
             done, _ = concurrent.futures.wait(
                 inflight, return_when=concurrent.futures.FIRST_COMPLETED
@@ -668,6 +724,9 @@ class ParallelHierarchicalSolver:
                     lost.append((task, resubmits, lane))
                     continue
                 node = nodes[task.nid]
+                # Lane attribution for the live busy% view: the worker's
+                # measured node seconds credit the lane that ran it.
+                obs.inc(f"sched.lane.{lane}.busy_seconds", float(result[3]))
                 self._ingest(
                     task,
                     result,
@@ -705,6 +764,8 @@ class ParallelHierarchicalSolver:
                 submit_on(lane, resubmits=resubmits, task=task)
             for lane in range(n_lanes):
                 dispatch(lane)
+            obs.set_gauge("sched.inflight", float(len(inflight)))
+            obs.set_gauge("sched.queued", float(sum(len(q) for q in queues)))
         self._complete_windows(tracer, windows, buffered)
 
     # ----------------------------------------------------------- plumbing
@@ -746,6 +807,8 @@ class ParallelHierarchicalSolver:
         node_results[nid] = posterior
         self.measured_costs[nid] = seconds
         merged.events.extend(events)
+        obs.inc("sched.nodes_completed")
+        obs.inc("sched.busy_seconds", float(seconds))
         if payload is not None:
             if tracer is not None and payload["trace"] is not None:
                 if trace_buffer is not None:
@@ -754,6 +817,10 @@ class ParallelHierarchicalSolver:
                     tracer.merge(payload["trace"], parent_id=trace_parent)
             if registry is not None:
                 registry.merge_snapshot(payload["metrics"])
+            if payload.get("flight") is not None:
+                recorder = obs.current_flight_recorder()
+                if recorder is not None:
+                    recorder.absorb(payload["flight"])
         records.append(
             NodeSolveRecord(
                 nid=nid,
@@ -801,4 +868,6 @@ class ParallelHierarchicalSolver:
             trace=obs.current_tracer() is not None,
             collect_metrics=obs.current_metrics() is not None,
             parent_nid=-1 if node.parent is None else node.parent.nid,
+            flight=obs.current_flight_recorder() is not None,
+            labels=self.labels,
         )

@@ -223,6 +223,51 @@ class TestTracerMergeEdgeCases:
         assert by_name["node[1]"].parent_id == dispatch.span_id
         assert by_name["batch"].parent_id == by_name["node[1]"].span_id
 
+    def test_labeled_session_metrics_survive_pool_rebuild(
+        self, two_group_problem
+    ):
+        """Two labeled sessions over a kill-mode process pool: every
+        per-session series must come home still carrying its labels, even
+        though worker registries are merged across a pool rebuild."""
+        from repro.core.session import SolveSession
+        from repro.obs.metrics import parse_metric_key
+
+        coords, constraints, hierarchy, estimate = two_group_problem
+        registry = obs.MetricsRegistry()
+        inj = FaultInjector(FaultConfig(crash_p=0.5, seed=0, crash_mode="kill"))
+        with ProcessExecutor(2) as ex, obs.metrics_scope(registry), \
+                fault_injection(inj):
+            for name in ("alpha", "beta"):
+                with SolveSession(
+                    hierarchy,
+                    constraints,
+                    batch_size=4,
+                    executor=ex,
+                    session_id=name,
+                    labels={"tenant": f"t-{name}"},
+                ) as session:
+                    session.solve(estimate, max_cycles=1, tol=0.0)
+        assert inj.injected["crash"] > 0  # workers really died
+        assert registry.counter("executor.pool_rebuilds").value > 0
+        counters = registry.snapshot()["counters"]
+        for name in ("alpha", "beta"):
+            per_session = {
+                base: key
+                for key in counters
+                for base, labels in [parse_metric_key(key)]
+                if labels.get("session") == name
+            }
+            # the session-scope counter and the worker-side per-task
+            # counter both carry the full label set
+            assert "session.solves" in per_session
+            assert "sched.tasks_completed" in per_session
+            _, labels = parse_metric_key(per_session["sched.tasks_completed"])
+            assert labels["tenant"] == f"t-{name}"
+            assert labels["backend"] == "ProcessExecutor"
+            # every constrained node's task was counted despite the rebuild
+            constrained = sum(1 for n in hierarchy.nodes)
+            assert counters[per_session["sched.tasks_completed"]] == constrained
+
     def test_attribution_survives_process_pool_rebuild(self, assigned_problem):
         """kill-mode faults hard-exit workers mid-cycle; the executor
         rebuilds the pool and resubmits, and the retried node solves must
